@@ -1,0 +1,331 @@
+// Package barrierpoint is a Go implementation of the BarrierPoint sampled
+// simulation methodology for barrier-synchronized multi-threaded
+// applications (Carlson, Heirman, Van Craeynest, Eeckhout — "BarrierPoint:
+// Sampled Simulation of Multi-Threaded Applications", ISPASS 2014).
+//
+// The flow mirrors the paper's Figure 2:
+//
+//  1. Analyze profiles a program's inter-barrier regions
+//     (microarchitecture-independently: per-thread basic block vectors and
+//     LRU stack distance vectors), clusters them SimPoint-style, and
+//     selects representative regions — barrierpoints — with multipliers.
+//  2. SimulatePoints runs only the barrierpoints in detail (in parallel,
+//     each on its own machine, warmed by MRU cache-line replay).
+//  3. Estimate reconstructs whole-program execution time and other
+//     metrics as Σ metric_j · multiplier_j.
+//
+// SimulateFull provides the ground-truth detailed simulation used to
+// validate estimates, and the package exposes speedup/resource accounting
+// matching the paper's Figure 9.
+package barrierpoint
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"barrierpoint/internal/cluster"
+	"barrierpoint/internal/profile"
+	"barrierpoint/internal/reconstruct"
+	"barrierpoint/internal/signature"
+	"barrierpoint/internal/sim"
+	"barrierpoint/internal/trace"
+	"barrierpoint/internal/warmup"
+)
+
+// Re-exported types: the public API surface in one place.
+type (
+	// Program is a barrier-synchronized multi-threaded application trace.
+	Program = trace.Program
+	// Region is one inter-barrier region of a Program.
+	Region = trace.Region
+	// Stream is one thread's dynamic basic block sequence within a Region.
+	Stream = trace.Stream
+	// BlockExec is one dynamic basic block execution.
+	BlockExec = trace.BlockExec
+	// Access is one data memory reference.
+	Access = trace.Access
+
+	// MachineConfig describes a simulated machine (see sim.TableI).
+	MachineConfig = sim.Config
+	// CacheConfig describes one cache level.
+	CacheConfig = sim.CacheConfig
+	// RegionResult is the detailed simulation result of one region.
+	RegionResult = sim.RegionResult
+
+	// SignatureOptions selects the region similarity metric (BBV, LDV,
+	// combined; LDV weighting; thread combination).
+	SignatureOptions = signature.Options
+	// ClusterParams are the SimPoint-style clustering parameters.
+	ClusterParams = cluster.Params
+	// BarrierPoint is one selected representative region.
+	BarrierPoint = cluster.BarrierPoint
+	// Selection is a complete clustering and barrierpoint selection.
+	Selection = cluster.Result
+	// Estimate is a reconstructed whole-program prediction.
+	Estimate = reconstruct.Estimate
+)
+
+// Signature kind constants, re-exported for configuration.
+const (
+	BBVOnly  = signature.BBVOnly
+	LDVOnly  = signature.LDVOnly
+	Combined = signature.Combined
+)
+
+// TableIMachine returns the paper's Table I machine configuration with the
+// given socket count (1 → 8 cores, 4 → 32 cores).
+func TableIMachine(sockets int) MachineConfig { return sim.TableI(sockets) }
+
+// Config bundles the analysis parameters.
+type Config struct {
+	Signature SignatureOptions
+	Cluster   ClusterParams
+}
+
+// DefaultConfig returns the paper's defaults: combined (BBV+LDV)
+// signatures, unweighted LDVs, per-thread concatenation, dim=15, maxK=20.
+func DefaultConfig() Config {
+	return Config{
+		Signature: signature.Default(),
+		Cluster:   cluster.DefaultParams(),
+	}
+}
+
+// Analysis is the one-time, microarchitecture-independent analysis of a
+// program: its region profiles and the barrierpoint selection.
+type Analysis struct {
+	Program   Program
+	Config    Config
+	Profiles  []*signature.RegionData
+	Selection *Selection
+}
+
+// Analyze profiles every inter-barrier region of p and selects
+// barrierpoints. This is the "one-time cost" path of the paper's Fig. 2.
+func Analyze(p Program, cfg Config) (*Analysis, error) {
+	profiles := profile.Program(p)
+	return analyzeProfiles(p, cfg, profiles)
+}
+
+// AnalyzeWithProfiles runs selection over pre-collected profiles (e.g. to
+// explore signature options without re-profiling).
+func AnalyzeWithProfiles(p Program, cfg Config, profiles []*signature.RegionData) (*Analysis, error) {
+	return analyzeProfiles(p, cfg, profiles)
+}
+
+func analyzeProfiles(p Program, cfg Config, profiles []*signature.RegionData) (*Analysis, error) {
+	svs, weights := signature.BuildAll(profiles, cfg.Signature)
+	sel, err := cluster.Select(svs, weights, cfg.Cluster)
+	if err != nil {
+		return nil, fmt.Errorf("barrierpoint: selection failed: %w", err)
+	}
+	return &Analysis{Program: p, Config: cfg, Profiles: profiles, Selection: sel}, nil
+}
+
+// BarrierPoints returns the selected representative regions.
+func (a *Analysis) BarrierPoints() []BarrierPoint { return a.Selection.Points }
+
+// TotalInstrs returns the program's aggregate instruction count. It works
+// both for freshly analyzed programs and for selections restored via
+// LoadSelection/Bind (which carry region weights but no profiles).
+func (a *Analysis) TotalInstrs() uint64 {
+	if a.Profiles != nil {
+		return profile.TotalInstrs(a.Profiles)
+	}
+	var t float64
+	for _, w := range a.Selection.RegionWeights {
+		t += w
+	}
+	return uint64(t)
+}
+
+// pointInstrs returns the aggregate instruction counts of each
+// barrierpoint region.
+func (a *Analysis) pointInstrs() []uint64 {
+	out := make([]uint64, len(a.Selection.Points))
+	for i, p := range a.Selection.Points {
+		if a.Profiles != nil {
+			out[i] = a.Profiles[p.Region].TotalInstrs
+		} else {
+			out[i] = uint64(a.Selection.RegionWeights[p.Region])
+		}
+	}
+	return out
+}
+
+// SerialSpeedup is the paper's Fig. 9 serial speedup: the reduction in
+// aggregate instruction count when simulating only barrierpoints
+// back-to-back instead of the whole program.
+func (a *Analysis) SerialSpeedup() float64 {
+	var bp uint64
+	for _, n := range a.pointInstrs() {
+		bp += n
+	}
+	if bp == 0 {
+		return 0
+	}
+	return float64(a.TotalInstrs()) / float64(bp)
+}
+
+// ParallelSpeedup is the paper's Fig. 9 parallel speedup: total instruction
+// count over the largest single barrierpoint, i.e. the latency reduction
+// with unlimited simulation machines.
+func (a *Analysis) ParallelSpeedup() float64 {
+	var max uint64
+	for _, n := range a.pointInstrs() {
+		if n > max {
+			max = n
+		}
+	}
+	if max == 0 {
+		return 0
+	}
+	return float64(a.TotalInstrs()) / float64(max)
+}
+
+// ResourceReduction is the factor fewer simulation machines BarrierPoint
+// needs compared to simulating every inter-barrier region in parallel
+// (Bryan et al.), i.e. regions / barrierpoints.
+func (a *Analysis) ResourceReduction() float64 {
+	if len(a.Selection.Points) == 0 {
+		return 0
+	}
+	return float64(len(a.Selection.Assignment)) / float64(len(a.Selection.Points))
+}
+
+// SimulateFull runs the complete detailed ("ground truth") simulation of p
+// on a fresh machine: every region in order, with persistent state.
+func SimulateFull(p Program, mc MachineConfig) ([]RegionResult, error) {
+	if p.Threads() != mc.Cores() {
+		return nil, fmt.Errorf("barrierpoint: program has %d threads but machine has %d cores", p.Threads(), mc.Cores())
+	}
+	m := sim.New(mc)
+	out := make([]RegionResult, p.Regions())
+	for i := 0; i < p.Regions(); i++ {
+		out[i] = m.RunRegion(p.Region(i))
+	}
+	return out, nil
+}
+
+// WarmupMode selects how barrierpoint simulations initialize
+// microarchitectural state.
+type WarmupMode int
+
+const (
+	// ColdWarmup starts every barrierpoint on empty caches (baseline).
+	ColdWarmup WarmupMode = iota
+	// MRUWarmup replays each core's captured most-recently-used lines
+	// before detailed simulation — the paper's §IV technique.
+	MRUWarmup
+	// MRUPrevWarmup is MRUWarmup plus a functional execution of the
+	// window of regions preceding the barrierpoint, which additionally
+	// warms branch predictors and instruction caches (MRRL-style). The
+	// window spans one full phase cycle of the benchmarks, so every
+	// kernel's predictor entries are re-trained. The paper notes
+	// core-structure warmup is unnecessary for multi-million-instruction
+	// regions; our scaled-down regions are short enough that it matters.
+	MRUPrevWarmup
+)
+
+// prevWarmupWindow is the number of preceding regions MRUPrevWarmup replays
+// functionally: wide enough to cover one full time step (phase cycle) of
+// every workload in the suite, so each static kernel re-trains its branch
+// predictor entries before detailed simulation.
+const prevWarmupWindow = 12
+
+// String names the mode.
+func (w WarmupMode) String() string {
+	switch w {
+	case ColdWarmup:
+		return "cold"
+	case MRUWarmup:
+		return "mru"
+	case MRUPrevWarmup:
+		return "mru+prev"
+	default:
+		return fmt.Sprintf("WarmupMode(%d)", int(w))
+	}
+}
+
+// SimulatePoints runs the selected barrierpoints in detail, each on its own
+// fresh machine, in parallel across available CPUs. With MRUWarmup, one
+// functional pass over the program captures per-core MRU cache lines at
+// each barrierpoint entry; each machine replays its snapshot first.
+func (a *Analysis) SimulatePoints(mc MachineConfig, mode WarmupMode) (map[int]RegionResult, error) {
+	if a.Program.Threads() != mc.Cores() {
+		return nil, fmt.Errorf("barrierpoint: program has %d threads but machine has %d cores", a.Program.Threads(), mc.Cores())
+	}
+	regions := make([]int, len(a.Selection.Points))
+	for i, p := range a.Selection.Points {
+		regions[i] = p.Region
+	}
+
+	var snaps map[int]warmup.Snapshot
+	if mode == MRUWarmup || mode == MRUPrevWarmup {
+		capacity := mc.L3.Lines() * mc.Sockets // largest total shared LLC
+		snaps = warmup.Capture(a.Program, regions, capacity)
+	}
+
+	out := make(map[int]RegionResult, len(regions))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for _, r := range regions {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			m := sim.New(mc)
+			if mode == MRUWarmup || mode == MRUPrevWarmup {
+				warmup.Replay(m, snaps[r])
+			}
+			if mode == MRUPrevWarmup {
+				for q := r - prevWarmupWindow; q < r; q++ {
+					if q >= 0 {
+						m.WarmRegion(a.Program.Region(q))
+					}
+				}
+			}
+			res := m.RunRegion(a.Program.Region(r))
+			mu.Lock()
+			out[r] = res
+			mu.Unlock()
+		}(r)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// EstimateFrom reconstructs whole-program metrics from barrierpoint
+// results (metric_app = Σ metric_j · mult_j).
+func (a *Analysis) EstimateFrom(results map[int]RegionResult) (Estimate, error) {
+	return reconstruct.Reconstruct(a.Selection, results)
+}
+
+// Estimate is the one-call convenience: simulate barrierpoints under the
+// given machine and warmup mode, then reconstruct whole-program metrics.
+func (a *Analysis) Estimate(mc MachineConfig, mode WarmupMode) (Estimate, error) {
+	res, err := a.SimulatePoints(mc, mode)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return a.EstimateFrom(res)
+}
+
+// ActualFrom sums ground-truth per-region results for error comparison.
+func ActualFrom(results []RegionResult) Estimate { return reconstruct.Actual(results) }
+
+// PerfectWarmup extracts barrierpoint results out of a full simulation —
+// the paper's perfect-warmup evaluation mode isolating selection error.
+func (a *Analysis) PerfectWarmup(full []RegionResult) map[int]RegionResult {
+	return reconstruct.PerfectWarmupResults(a.Selection, full)
+}
+
+// EstimateUnscaled reconstructs whole-program metrics using raw cluster
+// member counts instead of instruction-count multipliers — the §VI-A
+// ablation showing why scaling matters (0.6% vs 19.4% error in the paper).
+func EstimateUnscaled(sel *Selection, results map[int]RegionResult) (Estimate, error) {
+	return reconstruct.ReconstructUnscaled(sel, results)
+}

@@ -1,0 +1,156 @@
+// Benchmark harness: one testing.B target per table and figure of the
+// paper's evaluation section. Each benchmark regenerates its experiment on
+// a reduced-scale workload suite (region counts and phase structure
+// unchanged; iteration counts scaled), reporting wall time per full
+// regeneration. Run the paper-shaped version with:
+//
+//	go run ./cmd/bpexp -all
+package barrierpoint_test
+
+import (
+	"testing"
+
+	bp "barrierpoint"
+	"barrierpoint/internal/experiments"
+	"barrierpoint/internal/workload"
+)
+
+// benchScale keeps `go test -bench=.` to a few minutes for the whole file.
+const benchScale = 0.2
+
+// benchSubset is used for the heaviest sweeps.
+var benchSubset = []string{"npb-ft", "npb-is", "npb-lu"}
+
+func newBenchHarness(subset bool) *experiments.Harness {
+	h := experiments.New(benchScale)
+	if subset {
+		h.Benches = benchSubset
+	}
+	return h
+}
+
+func BenchmarkTable1(b *testing.B) {
+	h := newBenchHarness(true)
+	for i := 0; i < b.N; i++ {
+		_ = h.Table1().String()
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	h := newBenchHarness(true)
+	for i := 0; i < b.N; i++ {
+		_ = h.Table2().String()
+	}
+}
+
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newBenchHarness(false)
+		_ = h.Fig1().String()
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newBenchHarness(true)
+		_, tbl := h.Fig3()
+		_ = tbl.String()
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newBenchHarness(true)
+		_, tbl := h.Fig4()
+		_ = tbl.String()
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newBenchHarness(true)
+		_ = h.Fig5().String()
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newBenchHarness(true)
+		_ = h.Fig6().String()
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newBenchHarness(true)
+		_, tbl := h.Fig7()
+		_ = tbl.String()
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newBenchHarness(true)
+		_, tbl := h.Fig8()
+		_ = tbl.String()
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newBenchHarness(true)
+		_, tbl := h.Fig9()
+		_ = tbl.String()
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newBenchHarness(true)
+		_ = h.Table3().String()
+	}
+}
+
+// Component-level benchmarks: the costs behind the methodology.
+
+// BenchmarkFullSimulation measures the detailed simulation BarrierPoint
+// replaces (the denominator of the Fig. 9 speedups).
+func BenchmarkFullSimulation(b *testing.B) {
+	prog := workload.New("npb-ft", 8, workload.WithScale(benchScale))
+	mc := bp.TableIMachine(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bp.SimulateFull(prog, mc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProfiling measures the one-time instrumentation pass (the
+// paper's 20-30x-slowdown Pintool stand-in).
+func BenchmarkProfiling(b *testing.B) {
+	prog := workload.New("npb-ft", 8, workload.WithScale(benchScale))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bp.Analyze(prog, bp.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBarrierPointSimulation measures the sampled path: barrierpoints
+// only, MRU-warmed, in parallel.
+func BenchmarkBarrierPointSimulation(b *testing.B) {
+	prog := workload.New("npb-ft", 8, workload.WithScale(benchScale))
+	mc := bp.TableIMachine(1)
+	a, err := bp.Analyze(prog, bp.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.SimulatePoints(mc, bp.MRUWarmup); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

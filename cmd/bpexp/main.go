@@ -1,0 +1,108 @@
+// Command bpexp regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	bpexp -exp fig4               # one experiment
+//	bpexp -all                    # everything, in paper order
+//	bpexp -all -scale 0.25        # scaled-down workloads (faster)
+//	bpexp -exp fig9 -bench npb-sp # restrict the benchmark set
+//	bpexp -all -markdown          # markdown tables (for EXPERIMENTS.md)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"barrierpoint/internal/experiments"
+	"barrierpoint/internal/report"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "experiment to run: table1 table2 table3 fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 ablation-scaling ablation-threads ablation-warmup")
+		all      = flag.Bool("all", false, "run every experiment in paper order")
+		scale    = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper-shaped)")
+		bench    = flag.String("bench", "", "comma-separated benchmark subset (default: all)")
+		markdown = flag.Bool("markdown", false, "render tables as markdown")
+		quiet    = flag.Bool("q", false, "suppress progress timing")
+	)
+	flag.Parse()
+
+	h := experiments.New(*scale)
+	if *bench != "" {
+		h.Benches = strings.Split(*bench, ",")
+	}
+
+	render := func(t *report.Table) {
+		if *markdown {
+			fmt.Println(t.Markdown())
+		} else {
+			t.Render(os.Stdout)
+			fmt.Println()
+		}
+	}
+
+	run := func(name string) {
+		start := time.Now()
+		switch name {
+		case "table1":
+			render(h.Table1())
+		case "table2":
+			render(h.Table2())
+		case "table3":
+			render(h.Table3())
+		case "fig1":
+			render(h.Fig1())
+		case "fig3":
+			_, t := h.Fig3()
+			render(t)
+		case "fig4":
+			_, t := h.Fig4()
+			render(t)
+		case "fig5":
+			render(h.Fig5())
+		case "fig6":
+			render(h.Fig6())
+		case "fig7":
+			_, t := h.Fig7()
+			render(t)
+		case "fig8":
+			_, t := h.Fig8()
+			render(t)
+		case "fig9":
+			_, t := h.Fig9()
+			render(t)
+		case "ablation-scaling":
+			render(h.AblationScaling())
+		case "ablation-threads":
+			render(h.AblationThreads())
+		case "ablation-warmup":
+			render(h.AblationWarmup())
+		default:
+			fmt.Fprintf(os.Stderr, "bpexp: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	switch {
+	case *all:
+		for _, name := range []string{
+			"table1", "table2", "fig1", "fig3", "fig4", "fig5", "fig6",
+			"table3", "fig7", "fig8", "fig9",
+			"ablation-scaling", "ablation-threads", "ablation-warmup",
+		} {
+			run(name)
+		}
+	case *exp != "":
+		run(*exp)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

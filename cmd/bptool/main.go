@@ -1,0 +1,104 @@
+// Command bptool runs the BarrierPoint pipeline end to end on one workload
+// and prints the selection, the estimate, and its accuracy against a full
+// detailed simulation.
+//
+// Usage:
+//
+//	bptool -workload npb-ft -cores 8
+//	bptool -workload npb-sp -cores 32 -warmup mru -skip-full
+//	bptool -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	bp "barrierpoint"
+	"barrierpoint/internal/report"
+	"barrierpoint/internal/stats"
+	"barrierpoint/internal/workload"
+)
+
+func main() {
+	var (
+		name     = flag.String("workload", "npb-ft", "benchmark name (see -list)")
+		cores    = flag.Int("cores", 8, "thread/core count (8 or 32 for Table I machines)")
+		scale    = flag.Float64("scale", 1.0, "workload scale factor")
+		warmupFl = flag.String("warmup", "mru+prev", "warmup mode: cold, mru, mru+prev")
+		skipFull = flag.Bool("skip-full", false, "skip the ground-truth simulation (no error report)")
+		list     = flag.Bool("list", false, "list available workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range workload.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	var mode bp.WarmupMode
+	switch *warmupFl {
+	case "cold":
+		mode = bp.ColdWarmup
+	case "mru":
+		mode = bp.MRUWarmup
+	case "mru+prev":
+		mode = bp.MRUPrevWarmup
+	default:
+		fmt.Fprintf(os.Stderr, "bptool: unknown warmup mode %q\n", *warmupFl)
+		os.Exit(2)
+	}
+	if *cores%8 != 0 || *cores < 8 || *cores > 64 {
+		fmt.Fprintln(os.Stderr, "bptool: cores must be a multiple of 8 in [8, 64]")
+		os.Exit(2)
+	}
+
+	prog := workload.New(*name, *cores, workload.WithScale(*scale))
+	mc := bp.TableIMachine(*cores / 8)
+
+	start := time.Now()
+	analysis, err := bp.Analyze(prog, bp.DefaultConfig())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bptool: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s, %d threads: %d regions, %d barrierpoints (analysis in %v)\n\n",
+		prog.Name(), prog.Threads(), prog.Regions(), len(analysis.BarrierPoints()),
+		time.Since(start).Round(time.Millisecond))
+
+	t := report.NewTable("Selected barrierpoints", "region", "multiplier", "weight")
+	for _, p := range analysis.BarrierPoints() {
+		t.AddRow(fmt.Sprintf("%d", p.Region), fmt.Sprintf("%.2f", p.Multiplier), fmt.Sprintf("%.4f", p.Weight))
+	}
+	t.Render(os.Stdout)
+
+	fmt.Printf("\nserial speedup %.1fx, parallel speedup %.1fx, resource reduction %.1fx\n",
+		analysis.SerialSpeedup(), analysis.ParallelSpeedup(), analysis.ResourceReduction())
+
+	start = time.Now()
+	est, err := analysis.Estimate(mc, mode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bptool: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nestimate (%s warmup, %v): runtime %.3f ms, IPC %.2f, DRAM APKI %.2f\n",
+		mode, time.Since(start).Round(time.Millisecond), est.TimeNs/1e6, est.IPC(), est.DRAMAPKI())
+
+	if *skipFull {
+		return
+	}
+	start = time.Now()
+	full, err := bp.SimulateFull(prog, mc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bptool: %v\n", err)
+		os.Exit(1)
+	}
+	act := bp.ActualFrom(full)
+	fmt.Printf("actual   (full simulation, %v): runtime %.3f ms, IPC %.2f, DRAM APKI %.2f\n",
+		time.Since(start).Round(time.Millisecond), act.TimeNs/1e6, act.IPC(), act.DRAMAPKI())
+	fmt.Printf("runtime error %.2f%%, APKI difference %.3f\n",
+		stats.AbsPctErr(est.TimeNs, act.TimeNs), est.DRAMAPKI()-act.DRAMAPKI())
+}

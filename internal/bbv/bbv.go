@@ -1,0 +1,109 @@
+// Package bbv implements Basic Block Vectors (Sherwood et al., ASPLOS 2002):
+// per-region fingerprints counting, for every static basic block, how many
+// instructions that block contributed to the region's dynamic execution.
+package bbv
+
+import (
+	"fmt"
+	"sort"
+
+	"barrierpoint/internal/trace"
+)
+
+// Vector is a sparse basic block vector: static block ID → dynamic
+// instruction count attributed to that block.
+type Vector map[int]float64
+
+// New returns an empty vector.
+func New() Vector { return make(Vector) }
+
+// Add records one execution of block id contributing instrs instructions.
+func (v Vector) Add(id, instrs int) { v[id] += float64(instrs) }
+
+// Total returns the sum of all entries (the region's instruction count).
+func (v Vector) Total() float64 {
+	var s float64
+	for _, c := range v {
+		s += c
+	}
+	return s
+}
+
+// Normalized returns a copy of v scaled so its entries sum to 1.
+// A zero vector normalizes to a zero vector.
+func (v Vector) Normalized() Vector {
+	out := make(Vector, len(v))
+	t := v.Total()
+	if t == 0 {
+		return out
+	}
+	for id, c := range v {
+		out[id] = c / t
+	}
+	return out
+}
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	for id, c := range v {
+		out[id] = c
+	}
+	return out
+}
+
+// Keys returns the block IDs present in v in ascending order.
+func (v Vector) Keys() []int {
+	ks := make([]int, 0, len(v))
+	for id := range v {
+		ks = append(ks, id)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
+// ManhattanDistance returns the L1 distance between two vectors, treating
+// missing entries as zero. For normalized vectors this lies in [0, 2].
+func ManhattanDistance(a, b Vector) float64 {
+	var d float64
+	for id, av := range a {
+		bv := b[id]
+		if av > bv {
+			d += av - bv
+		} else {
+			d += bv - av
+		}
+	}
+	for id, bv := range b {
+		if _, ok := a[id]; !ok {
+			d += bv
+		}
+	}
+	return d
+}
+
+// Collect drains a stream and returns its basic block vector together with
+// the total instruction count observed.
+func Collect(s trace.Stream) (Vector, uint64) {
+	v := New()
+	var be trace.BlockExec
+	var instrs uint64
+	for s.Next(&be) {
+		v.Add(be.Block, be.Instrs)
+		instrs += uint64(be.Instrs)
+	}
+	return v, instrs
+}
+
+// String renders the vector compactly for debugging.
+func (v Vector) String() string {
+	ks := v.Keys()
+	out := "bbv{"
+	for i, k := range ks {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%d:%.0f", k, v[k])
+	}
+	return out + "}"
+}

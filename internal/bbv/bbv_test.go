@@ -1,0 +1,130 @@
+package bbv
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"barrierpoint/internal/trace"
+)
+
+func TestAddTotal(t *testing.T) {
+	v := New()
+	v.Add(1, 10)
+	v.Add(2, 5)
+	v.Add(1, 10)
+	if v.Total() != 25 {
+		t.Errorf("Total = %v, want 25", v.Total())
+	}
+	if v[1] != 20 || v[2] != 5 {
+		t.Errorf("entries wrong: %v", v)
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	v := Vector{1: 30, 2: 10}
+	n := v.Normalized()
+	if math.Abs(n[1]-0.75) > 1e-12 || math.Abs(n[2]-0.25) > 1e-12 {
+		t.Errorf("Normalized = %v", n)
+	}
+	// Original unchanged.
+	if v[1] != 30 {
+		t.Error("Normalized mutated its receiver")
+	}
+	// Zero vector stays zero.
+	if z := New().Normalized(); len(z) != 0 {
+		t.Errorf("zero vector normalized to %v", z)
+	}
+}
+
+func TestNormalizedSumsToOne(t *testing.T) {
+	f := func(counts []uint16) bool {
+		v := New()
+		any := false
+		for i, c := range counts {
+			if c > 0 {
+				v.Add(i, int(c))
+				any = true
+			}
+		}
+		if !any {
+			return true
+		}
+		var sum float64
+		for _, w := range v.Normalized() {
+			sum += w
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	v := Vector{1: 2, 3: 4}
+	c := v.Clone()
+	c[1] = 99
+	if v[1] != 2 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestKeys(t *testing.T) {
+	v := Vector{5: 1, 1: 1, 3: 1}
+	ks := v.Keys()
+	if len(ks) != 3 || ks[0] != 1 || ks[1] != 3 || ks[2] != 5 {
+		t.Errorf("Keys = %v", ks)
+	}
+}
+
+func TestManhattanDistance(t *testing.T) {
+	a := Vector{1: 0.5, 2: 0.5}
+	b := Vector{1: 0.5, 3: 0.5}
+	if d := ManhattanDistance(a, b); math.Abs(d-1.0) > 1e-12 {
+		t.Errorf("distance = %v, want 1.0", d)
+	}
+	if d := ManhattanDistance(a, a); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+}
+
+func TestManhattanDistanceProperties(t *testing.T) {
+	mk := func(xs []uint8) Vector {
+		v := New()
+		for i, x := range xs {
+			if x > 0 {
+				v.Add(i, int(x))
+			}
+		}
+		return v.Normalized()
+	}
+	// Symmetry and bounds for normalized vectors.
+	f := func(xs, ys []uint8) bool {
+		a, b := mk(xs), mk(ys)
+		d1, d2 := ManhattanDistance(a, b), ManhattanDistance(b, a)
+		return math.Abs(d1-d2) < 1e-12 && d1 >= 0 && d1 <= 2+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCollect(t *testing.T) {
+	s := &trace.SliceStream{Blocks: []trace.BlockExec{
+		{Block: 7, Instrs: 4},
+		{Block: 7, Instrs: 4},
+		{Block: 9, Instrs: 2},
+	}}
+	v, instrs := Collect(s)
+	if instrs != 10 || v[7] != 8 || v[9] != 2 {
+		t.Errorf("Collect = %v, %d", v, instrs)
+	}
+}
+
+func TestString(t *testing.T) {
+	v := Vector{2: 3, 1: 1}
+	if got := v.String(); got != "bbv{1:1 2:3}" {
+		t.Errorf("String = %q", got)
+	}
+}

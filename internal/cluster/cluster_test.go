@@ -1,0 +1,276 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"barrierpoint/internal/signature"
+)
+
+// blobSVs builds n signature vectors in g well-separated groups; members of
+// a group differ only by a small perturbation.
+func blobSVs(n, g int) ([]signature.SV, []float64, []int) {
+	svs := make([]signature.SV, n)
+	weights := make([]float64, n)
+	truth := make([]int, n)
+	for i := 0; i < n; i++ {
+		grp := i % g
+		sv := signature.SV{}
+		// Each group occupies its own feature ids.
+		sv[uint64(grp*10)] = 0.7
+		sv[uint64(grp*10+1)] = 0.3 - 0.001*float64(i/g%3)
+		sv[uint64(grp*10+2)] = 0.001 * float64(i/g%3)
+		svs[i] = sv
+		weights[i] = 1000 + float64(i%7)
+		truth[i] = grp
+	}
+	return svs, weights, truth
+}
+
+func TestProjectDeterministic(t *testing.T) {
+	sv := signature.SV{1: 0.5, 99: 0.5}
+	a := Project(sv, 15, 42)
+	b := Project(sv, 15, 42)
+	for d := range a {
+		if a[d] != b[d] {
+			t.Fatal("projection not deterministic")
+		}
+	}
+	c := Project(sv, 15, 43)
+	same := true
+	for d := range a {
+		if a[d] != c[d] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical projections")
+	}
+}
+
+func TestProjectPreservesSeparation(t *testing.T) {
+	// Distant sparse vectors stay distant after projection; identical ones
+	// coincide.
+	a := signature.SV{1: 1.0}
+	b := signature.SV{2: 1.0}
+	pa, pb := Project(a, 15, 1), Project(b, 15, 1)
+	var d2 float64
+	for d := range pa {
+		d2 += (pa[d] - pb[d]) * (pa[d] - pb[d])
+	}
+	if d2 < 1e-4 {
+		t.Errorf("distinct vectors projected to distance² %v", d2)
+	}
+	pa2 := Project(signature.SV{1: 1.0}, 15, 1)
+	for d := range pa {
+		if pa[d] != pa2[d] {
+			t.Fatal("identical vectors projected differently")
+		}
+	}
+}
+
+func TestKMeansAssignmentOptimal(t *testing.T) {
+	svs, weights, _ := blobSVs(60, 4)
+	points := ProjectAll(svs, 8, 7)
+	res := kMeans(points, weights, 4, 99, 100)
+	for i, p := range points {
+		best, bestD := -1, math.Inf(1)
+		for c := range res.Centroids {
+			if d := sqDist(p, res.Centroids[c]); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if res.Assignment[i] != best {
+			t.Fatalf("point %d assigned to %d, nearest centroid is %d", i, res.Assignment[i], best)
+		}
+	}
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	svs, weights, truth := blobSVs(80, 4)
+	points := ProjectAll(svs, 10, 3)
+	res := kMeans(points, weights, 4, 5, 100)
+	// All members of a true group must share a cluster.
+	grpCluster := map[int]int{}
+	for i := range points {
+		g := truth[i]
+		if c, ok := grpCluster[g]; ok {
+			if res.Assignment[i] != c {
+				t.Fatalf("group %d split across clusters", g)
+			}
+		} else {
+			grpCluster[g] = res.Assignment[i]
+		}
+	}
+	if len(grpCluster) != 4 {
+		t.Errorf("expected 4 clusters used, got %d", len(grpCluster))
+	}
+}
+
+func TestWCSSDecreasesWithK(t *testing.T) {
+	svs, weights, _ := blobSVs(60, 6)
+	points := ProjectAll(svs, 10, 3)
+	prev := math.Inf(1)
+	for k := 1; k <= 6; k++ {
+		res := kMeans(points, weights, k, uint64(k)*3, 100)
+		if res.WCSS > prev+1e-9 {
+			t.Errorf("WCSS increased at k=%d: %v > %v", k, res.WCSS, prev)
+		}
+		prev = res.WCSS
+	}
+}
+
+func TestSelectFindsStructure(t *testing.T) {
+	svs, weights, truth := blobSVs(100, 5)
+	res, err := Select(svs, weights, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K < 3 || res.K > 8 {
+		t.Errorf("K = %d for 5 true groups", res.K)
+	}
+	// Multipliers weighted by rep weight must sum to the total weight.
+	var sum, total float64
+	for _, p := range res.Points {
+		sum += p.Multiplier * weights[p.Region]
+	}
+	for _, w := range weights {
+		total += w
+	}
+	if math.Abs(sum-total)/total > 1e-9 {
+		t.Errorf("Σ mult·w_rep = %v, want %v", sum, total)
+	}
+	// Weights sum to 1.
+	var wsum float64
+	for _, p := range res.Points {
+		wsum += p.Weight
+	}
+	if math.Abs(wsum-1) > 1e-9 {
+		t.Errorf("Σ weights = %v", wsum)
+	}
+	// Representatives belong to their own cluster.
+	for _, p := range res.Points {
+		if res.Assignment[p.Region] != p.Cluster {
+			t.Errorf("rep %d not in cluster %d", p.Region, p.Cluster)
+		}
+	}
+	_ = truth
+}
+
+func TestSelectSingleRegion(t *testing.T) {
+	res, err := Select([]signature.SV{{1: 1.0}}, []float64{5}, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 1 || len(res.Points) != 1 || res.Points[0].Multiplier != 1 {
+		t.Errorf("singleton selection wrong: %+v", res)
+	}
+}
+
+func TestSelectErrors(t *testing.T) {
+	if _, err := Select(nil, nil, DefaultParams()); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Select([]signature.SV{{}}, []float64{1, 2}, DefaultParams()); err == nil {
+		t.Error("mismatched weights accepted")
+	}
+	bad := DefaultParams()
+	bad.Dim = 0
+	if _, err := Select([]signature.SV{{}}, []float64{1}, bad); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestSelectDeterministic(t *testing.T) {
+	svs, weights, _ := blobSVs(50, 3)
+	a, _ := Select(svs, weights, DefaultParams())
+	b, _ := Select(svs, weights, DefaultParams())
+	if a.K != b.K {
+		t.Fatal("non-deterministic K")
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatal("non-deterministic selection")
+		}
+	}
+}
+
+func TestPointFor(t *testing.T) {
+	svs, weights, _ := blobSVs(30, 3)
+	res, _ := Select(svs, weights, DefaultParams())
+	for i := range svs {
+		p := res.PointFor(i)
+		if p == nil {
+			t.Fatalf("region %d has no point", i)
+		}
+		if p.Cluster != res.Assignment[i] {
+			t.Errorf("PointFor(%d) returned cluster %d, assignment says %d", i, p.Cluster, res.Assignment[i])
+		}
+	}
+}
+
+func TestSignificant(t *testing.T) {
+	res := &Result{Points: []BarrierPoint{
+		{Region: 0, Weight: 0.5},
+		{Region: 1, Weight: 0.0005},
+		{Region: 2, Weight: 0.4995},
+	}}
+	sig, insig := res.Significant()
+	if len(sig) != 2 || len(insig) != 1 || insig[0].Region != 1 {
+		t.Errorf("Significant split wrong: %v | %v", sig, insig)
+	}
+}
+
+func TestRebind(t *testing.T) {
+	svs, weights, _ := blobSVs(40, 4)
+	sel, _ := Select(svs, weights, DefaultParams())
+	// Double all weights: multipliers must be unchanged (scale-free),
+	// assignment identical.
+	w2 := make([]float64, len(weights))
+	for i, w := range weights {
+		w2[i] = 2 * w
+	}
+	re := Rebind(sel, w2)
+	if re.K != sel.K {
+		t.Fatal("Rebind changed K")
+	}
+	for i := range sel.Points {
+		if re.Points[i].Region != sel.Points[i].Region {
+			t.Fatal("Rebind changed representatives")
+		}
+		if math.Abs(re.Points[i].Multiplier-sel.Points[i].Multiplier) > 1e-9 {
+			t.Errorf("uniform rescale changed multiplier: %v vs %v",
+				re.Points[i].Multiplier, sel.Points[i].Multiplier)
+		}
+	}
+}
+
+func TestBICFloorPreventsDegenerateSplits(t *testing.T) {
+	// 100 near-identical regions with 5 micro-variants: without the
+	// variance floor, BIC degenerates and picks maxK (20); with it, K
+	// stays at the actual structure (at most ~6).
+	svs := make([]signature.SV, 100)
+	weights := make([]float64, 100)
+	for i := range svs {
+		svs[i] = signature.SV{1: 0.999 - 1e-6*float64(i%5), 2: 0.001 + 1e-6*float64(i%5)}
+		weights[i] = 1
+	}
+	res, err := Select(svs, weights, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K > 6 {
+		t.Errorf("near-identical regions split into K=%d clusters", res.K)
+	}
+}
+
+func TestProjEntryRange(t *testing.T) {
+	f := func(feature uint64, dim uint8) bool {
+		v := projEntry(feature, int(dim%32), 42)
+		return v >= -0.5 && v < 0.5
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,235 @@
+package cluster
+
+import "math"
+
+// rng is a small deterministic PRNG (xorshift*) for k-means seeding.
+type rng uint64
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x853C49E6748FEA9B
+	}
+	r := rng(seed)
+	return &r
+}
+
+func (r *rng) next() uint64 {
+	x := uint64(*r)
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*r = rng(x)
+	return x * 0x2545F4914F6CDD1D
+}
+
+// float returns a uniform float64 in [0, 1).
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// KMeansResult holds a single weighted k-means solution.
+type KMeansResult struct {
+	K          int
+	Assignment []int       // point index -> cluster id
+	Centroids  [][]float64 // cluster id -> centre
+	WCSS       float64     // weighted within-cluster sum of squares
+}
+
+// kMeans runs weighted Lloyd's algorithm with k-means++ seeding.
+// Weights scale each point's influence on centroids and on WCSS.
+func kMeans(points [][]float64, weights []float64, k int, seed uint64, maxIters int) KMeansResult {
+	n := len(points)
+	if k > n {
+		k = n
+	}
+	dim := len(points[0])
+	r := newRNG(seed)
+
+	// k-means++ seeding (weighted).
+	centroids := make([][]float64, 0, k)
+	d2 := make([]float64, n)
+	first := weightedPick(weights, r)
+	centroids = append(centroids, clone(points[first]))
+	for len(centroids) < k {
+		var total float64
+		for i, p := range points {
+			d := sqDist(p, centroids[len(centroids)-1])
+			if len(centroids) == 1 || d < d2[i] {
+				d2[i] = d
+			}
+			total += d2[i] * weights[i]
+		}
+		if total == 0 {
+			// All remaining points coincide with centroids; duplicate one.
+			centroids = append(centroids, clone(points[weightedPick(weights, r)]))
+			continue
+		}
+		target := r.float() * total
+		pick := n - 1
+		var acc float64
+		for i := range points {
+			acc += d2[i] * weights[i]
+			if acc >= target {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, clone(points[pick]))
+	}
+
+	assign := make([]int, n)
+	for iter := 0; iter < maxIters; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c := range centroids {
+				if d := sqDist(p, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute weighted centroids.
+		wsum := make([]float64, k)
+		for c := range centroids {
+			for d := 0; d < dim; d++ {
+				centroids[c][d] = 0
+			}
+		}
+		for i, p := range points {
+			c := assign[i]
+			wsum[c] += weights[i]
+			for d := 0; d < dim; d++ {
+				centroids[c][d] += p[d] * weights[i]
+			}
+		}
+		for c := range centroids {
+			if wsum[c] == 0 {
+				// Empty cluster: reseed at the point farthest from its
+				// centroid (weighted by point weight).
+				far, farD := 0, -1.0
+				for i, p := range points {
+					d := sqDist(p, centroids[assign[i]]) * weights[i]
+					if d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(centroids[c], points[far])
+				continue
+			}
+			for d := 0; d < dim; d++ {
+				centroids[c][d] /= wsum[c]
+			}
+		}
+	}
+
+	var wcss float64
+	for i, p := range points {
+		wcss += sqDist(p, centroids[assign[i]]) * weights[i]
+	}
+	return KMeansResult{K: k, Assignment: assign, Centroids: centroids, WCSS: wcss}
+}
+
+func weightedPick(weights []float64, r *rng) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	target := r.float() * total
+	var acc float64
+	for i, w := range weights {
+		acc += w
+		if acc >= target {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+func clone(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// bic scores a clustering with the Bayesian Information Criterion under a
+// spherical Gaussian model, as SimPoint does: higher is better; the
+// parameter penalty grows with k, trading fit against model size.
+func bic(points [][]float64, weights []float64, res KMeansResult) float64 {
+	n := len(points)
+	dim := len(points[0])
+	k := res.K
+
+	var wTotal float64
+	for _, w := range weights {
+		wTotal += w
+	}
+	// Cluster weights.
+	wc := make([]float64, k)
+	for i := range points {
+		wc[res.Assignment[i]] += weights[i]
+	}
+	// Pooled variance estimate, floored at a small fraction of the data's
+	// total variance. Without the floor, BIC degenerates for near-
+	// duplicate regions (repeated identical kernels): splitting an
+	// already-tight blob drives the variance toward zero and the
+	// log-likelihood toward +inf, so model selection would always pick
+	// maxK. The floor caps the reward for resolving structure finer than
+	// 1/1000 of the data spread.
+	variance := res.WCSS / math.Max(wTotal-float64(k), 1)
+	if floor := dataVariance(points, weights, wTotal) * 1e-3; variance < floor {
+		variance = floor
+	}
+	if variance <= 0 {
+		variance = 1e-12
+	}
+	var loglik float64
+	for c := 0; c < k; c++ {
+		if wc[c] <= 0 {
+			continue
+		}
+		nc := wc[c]
+		loglik += nc*math.Log(nc/wTotal) -
+			nc*float64(dim)/2*math.Log(2*math.Pi*variance) -
+			(nc-1)/2*float64(dim)
+	}
+	params := float64(k) * (float64(dim) + 1)
+	_ = n
+	return loglik - params/2*math.Log(wTotal)
+}
+
+// dataVariance returns the weighted variance of the points around their
+// weighted mean: the k=1 within-cluster variance, used as the BIC floor.
+func dataVariance(points [][]float64, weights []float64, wTotal float64) float64 {
+	if wTotal <= 0 {
+		return 0
+	}
+	dim := len(points[0])
+	mean := make([]float64, dim)
+	for i, p := range points {
+		for d := 0; d < dim; d++ {
+			mean[d] += p[d] * weights[i]
+		}
+	}
+	for d := 0; d < dim; d++ {
+		mean[d] /= wTotal
+	}
+	var wcss float64
+	for i, p := range points {
+		wcss += sqDist(p, mean) * weights[i]
+	}
+	return wcss / wTotal
+}

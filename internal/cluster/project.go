@@ -1,0 +1,45 @@
+// Package cluster implements the SimPoint-style region clustering of the
+// BarrierPoint methodology: random linear projection of signature vectors
+// to a small dimension, weighted k-means with k-means++ seeding, BIC model
+// selection over k, and representative ("barrierpoint") plus multiplier
+// extraction (paper §III-B, Table II).
+package cluster
+
+import "barrierpoint/internal/signature"
+
+// splitmix64 is the hash behind the implicit random projection matrix.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// projEntry returns the projection matrix entry for (feature, dim) in
+// [-1, 1), derived deterministically so the matrix never needs to be
+// materialized over the (huge, sparse) feature space.
+func projEntry(feature uint64, dim int, seed uint64) float64 {
+	h := splitmix64(feature ^ splitmix64(uint64(dim)+seed))
+	return float64(int64(h))/(1<<63)*0.5 + 0 // in [-0.5, 0.5)
+}
+
+// Project maps a sparse signature vector into dim dense dimensions via a
+// fixed random ±uniform projection (Table II: dim = 15).
+func Project(sv signature.SV, dim int, seed uint64) []float64 {
+	out := make([]float64, dim)
+	for f, w := range sv {
+		for d := 0; d < dim; d++ {
+			out[d] += w * projEntry(f, d, seed)
+		}
+	}
+	return out
+}
+
+// ProjectAll projects every signature vector.
+func ProjectAll(svs []signature.SV, dim int, seed uint64) [][]float64 {
+	out := make([][]float64, len(svs))
+	for i, sv := range svs {
+		out[i] = Project(sv, dim, seed)
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+package cluster
+
+// Rebind transfers a selection to a different machine's region weights: the
+// cluster assignment and representative regions are kept (barrierpoints are
+// fixed units of work, paper §VI-A3), while multipliers and weights are
+// recomputed from the new per-region instruction counts. This implements
+// the paper's cross-architecture use of barrierpoints (Fig. 6), e.g.
+// selecting on 8-core profiles and estimating a 32-core machine.
+func Rebind(sel *Result, weights []float64) *Result {
+	out := &Result{
+		K:             sel.K,
+		Assignment:    sel.Assignment,
+		RegionWeights: weights,
+		BIC:           sel.BIC,
+	}
+	var totalW float64
+	for _, w := range weights {
+		totalW += w
+	}
+	clusterW := make(map[int]float64)
+	for i, c := range sel.Assignment {
+		clusterW[c] += weights[i]
+	}
+	for _, p := range sel.Points {
+		q := p
+		if w := weights[p.Region]; w > 0 {
+			q.Multiplier = clusterW[p.Cluster] / w
+		}
+		if totalW > 0 {
+			q.Weight = clusterW[p.Cluster] / totalW
+		}
+		out.Points = append(out.Points, q)
+	}
+	return out
+}

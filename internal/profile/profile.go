@@ -1,0 +1,99 @@
+// Package profile is the stand-in for the paper's Pin-based instrumentation:
+// a single functional pass over a program's trace streams that produces, for
+// every inter-barrier region, per-thread basic block vectors and LRU stack
+// distance vectors, plus instruction counts.
+//
+// Profiles are microarchitecture-independent: they are computed from the
+// trace alone. Regions are profiled concurrently (they are independent by
+// construction), with results ordered deterministically by region index.
+package profile
+
+import (
+	"runtime"
+	"sync"
+
+	"barrierpoint/internal/bbv"
+	"barrierpoint/internal/ldv"
+	"barrierpoint/internal/signature"
+	"barrierpoint/internal/trace"
+)
+
+// Region profiles one region of a program.
+func Region(r trace.Region, threads int) *signature.RegionData {
+	rd := &signature.RegionData{
+		BBV:          make([]bbv.Vector, threads),
+		LDV:          make([]ldv.Histogram, threads),
+		ThreadInstrs: make([]uint64, threads),
+	}
+	for t := 0; t < threads; t++ {
+		s := r.Thread(t)
+		v := bbv.New()
+		var h ldv.Histogram
+		p := ldv.NewProfiler(4096)
+		var be trace.BlockExec
+		var instrs uint64
+		for s.Next(&be) {
+			v.Add(be.Block, be.Instrs)
+			instrs += uint64(be.Instrs)
+			for _, a := range be.Accs {
+				d, cold := p.Access(trace.LineAddr(a.Addr))
+				if cold {
+					h.AddCold()
+				} else {
+					h.Add(d)
+				}
+			}
+		}
+		rd.BBV[t] = v
+		rd.LDV[t] = h
+		rd.ThreadInstrs[t] = instrs
+		rd.TotalInstrs += instrs
+	}
+	return rd
+}
+
+// Program profiles every region of a program, in parallel across regions.
+func Program(p trace.Program) []*signature.RegionData {
+	n := p.Regions()
+	out := make([]*signature.RegionData, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = Region(p.Region(i), p.Threads())
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// TotalInstrs sums aggregate instruction counts over all regions.
+func TotalInstrs(rds []*signature.RegionData) uint64 {
+	var t uint64
+	for _, rd := range rds {
+		t += rd.TotalInstrs
+	}
+	return t
+}
+
+// Weights extracts the per-region aggregate instruction counts as float64
+// clustering weights.
+func Weights(rds []*signature.RegionData) []float64 {
+	w := make([]float64, len(rds))
+	for i, rd := range rds {
+		w[i] = float64(rd.TotalInstrs)
+	}
+	return w
+}

@@ -1,0 +1,130 @@
+// Package report renders experiment results as aligned ASCII tables and
+// simple horizontal bar charts, so every paper table and figure can be
+// regenerated as text.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddRowf appends a row of formatted values.
+func (t *Table) AddRowf(format string, args ...any) {
+	t.AddRow(strings.Split(fmt.Sprintf(format, args...), "\t")...)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.Headers)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total-2))
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table.
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "**%s**\n\n", t.Title)
+	}
+	fmt.Fprintf(&sb, "| %s |\n", strings.Join(t.Headers, " | "))
+	seps := make([]string, len(t.Headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(&sb, "| %s |\n", strings.Join(seps, " | "))
+	for _, r := range t.Rows {
+		fmt.Fprintf(&sb, "| %s |\n", strings.Join(r, " | "))
+	}
+	return sb.String()
+}
+
+// Bar renders one horizontal bar of a chart: the label, a bar scaled to
+// width characters at value/max, and the numeric value.
+func Bar(w io.Writer, label string, value, max float64, width int) {
+	n := 0
+	if max > 0 {
+		n = int(value / max * float64(width))
+	}
+	if n > width {
+		n = width
+	}
+	if n < 0 {
+		n = 0
+	}
+	fmt.Fprintf(w, "%-28s |%s%s| %.3g\n", label,
+		strings.Repeat("#", n), strings.Repeat(" ", width-n), value)
+}
+
+// BarChart renders a labeled chart of values with a shared scale.
+func BarChart(w io.Writer, title string, labels []string, values []float64, width int) {
+	fmt.Fprintln(w, title)
+	var max float64
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	for i := range labels {
+		Bar(w, labels[i], values[i], max, width)
+	}
+}

@@ -1,0 +1,79 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("Title", "a", "bbbb")
+	tbl.AddRow("x", "1")
+	tbl.AddRow("longer", "2")
+	out := tbl.String()
+	if !strings.Contains(out, "Title") || !strings.Contains(out, "longer") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableRowClamping(t *testing.T) {
+	tbl := NewTable("", "a", "b")
+	tbl.AddRow("1", "2", "3") // extra cell dropped
+	tbl.AddRow("only")        // short row padded
+	if len(tbl.Rows[0]) != 2 || len(tbl.Rows[1]) != 2 {
+		t.Errorf("rows not normalized: %v", tbl.Rows)
+	}
+	if tbl.Rows[1][1] != "" {
+		t.Error("missing cell not empty")
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tbl := NewTable("", "x", "y")
+	tbl.AddRowf("%d\t%.1f", 3, 2.5)
+	if tbl.Rows[0][0] != "3" || tbl.Rows[0][1] != "2.5" {
+		t.Errorf("AddRowf row = %v", tbl.Rows[0])
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tbl := NewTable("T", "a", "b")
+	tbl.AddRow("1", "2")
+	md := tbl.Markdown()
+	for _, want := range []string{"**T**", "| a | b |", "| --- | --- |", "| 1 | 2 |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestBarClamps(t *testing.T) {
+	var sb strings.Builder
+	Bar(&sb, "x", 5, 10, 20)
+	out := sb.String()
+	if strings.Count(out, "#") != 10 {
+		t.Errorf("half bar should have 10 #: %q", out)
+	}
+	sb.Reset()
+	Bar(&sb, "x", 50, 10, 20) // over max: clamp to width
+	if strings.Count(sb.String(), "#") != 20 {
+		t.Errorf("over-max bar not clamped: %q", sb.String())
+	}
+	sb.Reset()
+	Bar(&sb, "x", 1, 0, 20) // zero max: no bar
+	if strings.Count(sb.String(), "#") != 0 {
+		t.Errorf("zero-max bar not empty: %q", sb.String())
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	var sb strings.Builder
+	BarChart(&sb, "chart", []string{"a", "b"}, []float64{1, 2}, 10)
+	out := sb.String()
+	if !strings.Contains(out, "chart") || strings.Count(out, "\n") != 3 {
+		t.Errorf("chart output wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,176 @@
+// Package signature builds the Signature Vectors (SVs) of the BarrierPoint
+// methodology (paper §III-A): per inter-barrier region, per-thread BBVs
+// and/or LRU stack distance vectors are individually normalized, optionally
+// weighted, and concatenated — across threads and across metric kinds —
+// into a single sparse vector characterizing the region's behaviour.
+package signature
+
+import (
+	"fmt"
+
+	"barrierpoint/internal/bbv"
+	"barrierpoint/internal/ldv"
+)
+
+// Kind selects which program characteristics enter the signature.
+type Kind int
+
+// Signature kinds, matching the paper's Figure 5 series.
+const (
+	// BBVOnly uses code signatures only ("bbv").
+	BBVOnly Kind = iota
+	// LDVOnly uses LRU stack distance vectors only ("reuse_dist").
+	LDVOnly
+	// Combined concatenates both ("combine") — the paper's default.
+	Combined
+)
+
+// String returns the paper's series label for the kind.
+func (k Kind) String() string {
+	switch k {
+	case BBVOnly:
+		return "bbv"
+	case LDVOnly:
+		return "reuse_dist"
+	case Combined:
+		return "combine"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Options configures signature construction.
+type Options struct {
+	Kind Kind
+	// LDVWeightV is the v in the paper's 2^(n/v) stack distance bucket
+	// weighting. 0 disables weighting (the paper's default).
+	LDVWeightV float64
+	// SumThreads aggregates per-thread vectors by summation instead of
+	// concatenation — the rejected alternative of §III-A4, kept as an
+	// ablation.
+	SumThreads bool
+}
+
+// Label renders the options as the paper's Figure 5 series name, e.g.
+// "combine-1_2" for Combined with v=2.
+func (o Options) Label() string {
+	l := o.Kind.String()
+	if o.LDVWeightV > 0 {
+		l += fmt.Sprintf("-1_%d", int(o.LDVWeightV))
+	}
+	if o.SumThreads {
+		l += "-sum"
+	}
+	return l
+}
+
+// Default returns the paper's default configuration: combined signatures,
+// unweighted LDVs, per-thread concatenation.
+func Default() Options { return Options{Kind: Combined} }
+
+// SV is a sparse signature vector. Keys are feature identifiers unique
+// across threads and metric kinds; values are normalized weights.
+type SV map[uint64]float64
+
+// Feature key layout: | kind (1 bit) | thread (15 bits) | feature (48 bits) |
+const (
+	featBits   = 48
+	threadBits = 15
+	kindShift  = featBits + threadBits
+)
+
+func key(kind, thread int, feature uint64) uint64 {
+	return uint64(kind)<<kindShift | uint64(thread)<<featBits | feature&((1<<featBits)-1)
+}
+
+// RegionData is the per-thread profile of one region, as produced by the
+// profiler.
+type RegionData struct {
+	BBV          []bbv.Vector    // per thread
+	LDV          []ldv.Histogram // per thread
+	ThreadInstrs []uint64
+	TotalInstrs  uint64
+}
+
+// Build constructs the signature vector of one region. Each (thread, kind)
+// sub-vector is L1-normalized before concatenation; the final vector is
+// L1-normalized overall, so regions of different lengths compare by
+// intrinsic behaviour only (paper §III-B).
+func Build(rd *RegionData, o Options) SV {
+	sv := make(SV)
+	threads := len(rd.BBV)
+	useBBV := o.Kind == BBVOnly || o.Kind == Combined
+	useLDV := o.Kind == LDVOnly || o.Kind == Combined
+
+	for t := 0; t < threads; t++ {
+		slot := t
+		if o.SumThreads {
+			slot = 0
+		}
+		if useBBV {
+			n := rd.BBV[t].Normalized()
+			for id, w := range n {
+				sv[key(0, slot, uint64(id))] += w
+			}
+		}
+		if useLDV {
+			h := rd.LDV[t]
+			if o.LDVWeightV > 0 {
+				h = h.Weighted(o.LDVWeightV)
+			}
+			h = h.Normalized()
+			for n, w := range h.Buckets {
+				if w != 0 {
+					sv[key(1, slot, uint64(n))] += w
+				}
+			}
+			if h.Cold != 0 {
+				sv[key(1, slot, uint64(ldv.NumBuckets))] += h.Cold
+			}
+		}
+	}
+
+	// Overall L1 normalization.
+	var total float64
+	for _, w := range sv {
+		total += w
+	}
+	if total > 0 {
+		for k := range sv {
+			sv[k] /= total
+		}
+	}
+	return sv
+}
+
+// BuildAll constructs signature vectors for every region, plus the region
+// weights (aggregate instruction counts) used by weighted clustering.
+func BuildAll(rds []*RegionData, o Options) (svs []SV, weights []float64) {
+	svs = make([]SV, len(rds))
+	weights = make([]float64, len(rds))
+	for i, rd := range rds {
+		svs[i] = Build(rd, o)
+		weights[i] = float64(rd.TotalInstrs)
+	}
+	return svs, weights
+}
+
+// Distance returns the L1 (Manhattan) distance between two signature
+// vectors; for normalized vectors it lies in [0, 2].
+func Distance(a, b SV) float64 {
+	var d float64
+	for k, av := range a {
+		bv := b[k]
+		if av > bv {
+			d += av - bv
+		} else {
+			d += bv - av
+		}
+	}
+	for k, bv := range b {
+		if _, ok := a[k]; !ok {
+			d += bv
+		}
+	}
+	return d
+}

@@ -1,0 +1,153 @@
+package signature
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"barrierpoint/internal/bbv"
+	"barrierpoint/internal/ldv"
+)
+
+func mkData(threads int) *RegionData {
+	rd := &RegionData{
+		BBV:          make([]bbv.Vector, threads),
+		LDV:          make([]ldv.Histogram, threads),
+		ThreadInstrs: make([]uint64, threads),
+	}
+	for t := 0; t < threads; t++ {
+		v := bbv.New()
+		v.Add(1, 10*(t+1))
+		v.Add(2, 5)
+		rd.BBV[t] = v
+		var h ldv.Histogram
+		h.Add(1)
+		h.Add(100)
+		h.AddCold()
+		rd.LDV[t] = h
+		rd.ThreadInstrs[t] = uint64(10*(t+1) + 5)
+		rd.TotalInstrs += rd.ThreadInstrs[t]
+	}
+	return rd
+}
+
+func mass(sv SV) float64 {
+	var s float64
+	for _, w := range sv {
+		s += w
+	}
+	return s
+}
+
+func TestBuildNormalization(t *testing.T) {
+	for _, kind := range []Kind{BBVOnly, LDVOnly, Combined} {
+		sv := Build(mkData(4), Options{Kind: kind})
+		if len(sv) == 0 {
+			t.Fatalf("%v: empty signature", kind)
+		}
+		if math.Abs(mass(sv)-1) > 1e-9 {
+			t.Errorf("%v: mass = %v, want 1", kind, mass(sv))
+		}
+	}
+}
+
+func TestBuildKindsSelectFeatures(t *testing.T) {
+	rd := mkData(2)
+	bOnly := Build(rd, Options{Kind: BBVOnly})
+	lOnly := Build(rd, Options{Kind: LDVOnly})
+	comb := Build(rd, Options{Kind: Combined})
+	if Distance(bOnly, lOnly) < 1.99 {
+		t.Error("BBV-only and LDV-only signatures share features")
+	}
+	if len(comb) != len(bOnly)+len(lOnly) {
+		t.Errorf("combined has %d features, want %d", len(comb), len(bOnly)+len(lOnly))
+	}
+}
+
+func TestSumVsConcat(t *testing.T) {
+	// Imbalanced threads: concatenation separates them, summation hides it.
+	rd1 := mkData(2)
+	// rd2 swaps the two threads' BBVs.
+	rd2 := mkData(2)
+	rd2.BBV[0], rd2.BBV[1] = rd2.BBV[1], rd2.BBV[0]
+	concat1 := Build(rd1, Options{Kind: BBVOnly})
+	concat2 := Build(rd2, Options{Kind: BBVOnly})
+	if Distance(concat1, concat2) == 0 {
+		t.Error("concatenated SVs identical despite per-thread swap")
+	}
+	sum1 := Build(rd1, Options{Kind: BBVOnly, SumThreads: true})
+	sum2 := Build(rd2, Options{Kind: BBVOnly, SumThreads: true})
+	if d := Distance(sum1, sum2); d > 1e-9 {
+		t.Errorf("summed SVs differ (%v) despite identical aggregate", d)
+	}
+}
+
+func TestLDVWeighting(t *testing.T) {
+	rd := mkData(1)
+	plain := Build(rd, Options{Kind: LDVOnly})
+	weighted := Build(rd, Options{Kind: LDVOnly, LDVWeightV: 2})
+	if Distance(plain, weighted) == 0 {
+		t.Error("weighting changed nothing")
+	}
+	if math.Abs(mass(weighted)-1) > 1e-9 {
+		t.Error("weighted SV not normalized")
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	f := func(seedA, seedB uint8) bool {
+		mk := func(seed uint8) SV {
+			rd := mkData(int(seed%3) + 1)
+			rd.BBV[0].Add(int(seed), 7)
+			return Build(rd, Options{Kind: Combined})
+		}
+		a, b := mk(seedA), mk(seedB)
+		dAB, dBA := Distance(a, b), Distance(b, a)
+		return math.Abs(dAB-dBA) < 1e-12 && dAB >= 0 && dAB <= 2+1e-9 && Distance(a, a) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIdenticalRegionsZeroDistance(t *testing.T) {
+	a := Build(mkData(4), Default())
+	b := Build(mkData(4), Default())
+	if d := Distance(a, b); d > 1e-12 {
+		t.Errorf("identical regions have distance %v", d)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	cases := []struct {
+		o    Options
+		want string
+	}{
+		{Options{Kind: BBVOnly}, "bbv"},
+		{Options{Kind: LDVOnly}, "reuse_dist"},
+		{Options{Kind: LDVOnly, LDVWeightV: 2}, "reuse_dist-1_2"},
+		{Options{Kind: Combined, LDVWeightV: 5}, "combine-1_5"},
+		{Options{Kind: Combined, SumThreads: true}, "combine-sum"},
+	}
+	for _, c := range cases {
+		if got := c.o.Label(); got != c.want {
+			t.Errorf("Label = %q, want %q", got, c.want)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind has empty name")
+	}
+}
+
+func TestBuildAll(t *testing.T) {
+	rds := []*RegionData{mkData(2), mkData(2), mkData(3)}
+	svs, weights := BuildAll(rds, Default())
+	if len(svs) != 3 || len(weights) != 3 {
+		t.Fatal("wrong lengths")
+	}
+	for i, rd := range rds {
+		if weights[i] != float64(rd.TotalInstrs) {
+			t.Errorf("weight %d = %v", i, weights[i])
+		}
+	}
+}

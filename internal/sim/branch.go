@@ -1,0 +1,51 @@
+package sim
+
+// branchPredictor is a gshare predictor: the per-branch PC is XORed with a
+// global history register to index a table of 2-bit saturating counters.
+// It stands in for the paper's Pentium M (Dothan) predictor with the same
+// 8-cycle mispredict penalty.
+type branchPredictor struct {
+	table   []uint8
+	mask    uint32
+	history uint32
+}
+
+const branchTableBits = 12
+
+func newBranchPredictor() *branchPredictor {
+	n := 1 << branchTableBits
+	t := make([]uint8, n)
+	for i := range t {
+		t[i] = 1 // weakly not-taken
+	}
+	return &branchPredictor{table: t, mask: uint32(n - 1)}
+}
+
+// predict runs one branch through the predictor, updates its state, and
+// reports whether the branch was mispredicted.
+func (b *branchPredictor) predict(pc int, taken bool) (mispredict bool) {
+	idx := (uint32(pc) ^ b.history) & b.mask
+	ctr := b.table[idx]
+	predTaken := ctr >= 2
+	if taken && ctr < 3 {
+		b.table[idx] = ctr + 1
+	} else if !taken && ctr > 0 {
+		b.table[idx] = ctr - 1
+	}
+	b.history = ((b.history << 1) | boolBit(taken)) & b.mask
+	return predTaken != taken
+}
+
+func boolBit(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (b *branchPredictor) reset() {
+	for i := range b.table {
+		b.table[i] = 1
+	}
+	b.history = 0
+}

@@ -1,0 +1,119 @@
+package sim
+
+// Coherence states for lines in private caches (MSI without E; the S state
+// also covers clean-exclusive).
+const (
+	stateInvalid uint8 = iota
+	stateShared
+	stateModified
+)
+
+// cacheLine is one way of one set.
+type cacheLine struct {
+	tag     uint64 // full line address (tag+index kept whole for simplicity)
+	lastUse uint64 // LRU timestamp
+	state   uint8
+}
+
+// cache is a set-associative, LRU-replacement cache. It stores full line
+// addresses in tag so lookups and invalidations need no address reassembly.
+type cache struct {
+	lines   []cacheLine // sets*ways, row-major by set
+	ways    int
+	setMask uint64
+	useCtr  uint64
+}
+
+func newCache(cfg CacheConfig) *cache {
+	sets := cfg.Sets()
+	return &cache{
+		lines:   make([]cacheLine, sets*cfg.Ways),
+		ways:    cfg.Ways,
+		setMask: uint64(sets - 1),
+	}
+}
+
+func (c *cache) set(line uint64) []cacheLine {
+	s := int(line&c.setMask) * c.ways
+	return c.lines[s : s+c.ways]
+}
+
+// lookup finds a line and refreshes its LRU position.
+// It returns nil when the line is not present.
+func (c *cache) lookup(line uint64) *cacheLine {
+	set := c.set(line)
+	for i := range set {
+		if set[i].state != stateInvalid && set[i].tag == line {
+			c.useCtr++
+			set[i].lastUse = c.useCtr
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// peek finds a line without touching LRU state.
+func (c *cache) peek(line uint64) *cacheLine {
+	set := c.set(line)
+	for i := range set {
+		if set[i].state != stateInvalid && set[i].tag == line {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// insert places a line (assumed absent) with the given state, evicting the
+// LRU way if the set is full. It returns the evicted line and its state;
+// evicted is false when an invalid way was available.
+func (c *cache) insert(line uint64, state uint8) (victim uint64, victimState uint8, evicted bool) {
+	set := c.set(line)
+	vi := 0
+	for i := range set {
+		if set[i].state == stateInvalid {
+			vi = i
+			evicted = false
+			goto place
+		}
+		if set[i].lastUse < set[vi].lastUse {
+			vi = i
+		}
+	}
+	victim, victimState, evicted = set[vi].tag, set[vi].state, true
+place:
+	c.useCtr++
+	set[vi] = cacheLine{tag: line, lastUse: c.useCtr, state: state}
+	return victim, victimState, evicted
+}
+
+// invalidate removes a line if present, returning its prior state.
+func (c *cache) invalidate(line uint64) uint8 {
+	set := c.set(line)
+	for i := range set {
+		if set[i].state != stateInvalid && set[i].tag == line {
+			st := set[i].state
+			set[i].state = stateInvalid
+			return st
+		}
+	}
+	return stateInvalid
+}
+
+// reset invalidates the whole cache.
+func (c *cache) reset() {
+	for i := range c.lines {
+		c.lines[i] = cacheLine{}
+	}
+	c.useCtr = 0
+}
+
+// occupancy counts valid lines (used by tests and inclusion checks).
+func (c *cache) occupancy() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].state != stateInvalid {
+			n++
+		}
+	}
+	return n
+}

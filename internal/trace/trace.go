@@ -1,0 +1,221 @@
+// Package trace defines the microarchitecture-independent execution trace
+// model that all of BarrierPoint consumes.
+//
+// A Program is a barrier-synchronized multi-threaded application: an ordered
+// sequence of inter-barrier Regions, each of which exposes one instruction
+// and memory-access Stream per thread. The same streams are consumed by the
+// profiler (BBV/LDV collection), the warmup capturer (MRU line tracking) and
+// the timing simulator, which guarantees that signatures are functions of the
+// program alone — never of the machine they are later simulated on.
+package trace
+
+// LineSize is the cache line size in bytes used throughout the system.
+// The paper's Table I machines use 64-byte lines.
+const LineSize = 64
+
+// LineShift is log2(LineSize).
+const LineShift = 6
+
+// LineAddr maps a byte address to its cache line address.
+func LineAddr(addr uint64) uint64 { return addr >> LineShift }
+
+// Access is a single data memory reference.
+type Access struct {
+	Addr  uint64 // byte address
+	Write bool   // true for stores, false for loads
+}
+
+// BlockExec is one dynamic execution of a static basic block: the unit of
+// work delivered by a Stream. Streams may reuse the Accs backing array
+// between calls; consumers must finish with Accs before requesting the next
+// block.
+type BlockExec struct {
+	Block  int      // static basic block identifier (program-unique)
+	Instrs int      // instructions retired by this block execution
+	Accs   []Access // data accesses issued by this block execution
+	Branch bool     // block ends in a conditional branch
+	Taken  bool     // branch outcome, meaningful only if Branch
+}
+
+// Stream yields the dynamic basic block sequence of one thread within one
+// inter-barrier region.
+type Stream interface {
+	// Next fills be with the next block execution and reports whether one
+	// was available. Once Next returns false the stream is exhausted.
+	Next(be *BlockExec) bool
+}
+
+// Region is one inter-barrier region: the work done by every thread between
+// two consecutive global barriers.
+type Region interface {
+	// Thread returns a fresh Stream for thread tid in [0, Threads).
+	// Thread may be called multiple times; each call restarts the stream.
+	Thread(tid int) Stream
+}
+
+// Program is a barrier-synchronized multi-threaded application.
+type Program interface {
+	// Name identifies the workload (e.g. "npb-ft").
+	Name() string
+	// Threads is the number of application threads (= cores used).
+	Threads() int
+	// Regions is the number of inter-barrier regions. The parallel region
+	// of interest is delimited by global barriers on both sides, so this
+	// equals the dynamic barrier count of the ROI.
+	Regions() int
+	// Region returns region i in [0, Regions). Regions are independent
+	// value objects; generating region i never requires generating i-1.
+	Region(i int) Region
+}
+
+// EmptyStream is a Stream with no blocks.
+type EmptyStream struct{}
+
+// Next always reports false.
+func (EmptyStream) Next(*BlockExec) bool { return false }
+
+// SliceStream adapts a pre-materialized block slice into a Stream.
+// It is primarily useful in tests.
+type SliceStream struct {
+	Blocks []BlockExec
+	pos    int
+}
+
+// Next copies the next stored block into be.
+func (s *SliceStream) Next(be *BlockExec) bool {
+	if s.pos >= len(s.Blocks) {
+		return false
+	}
+	*be = s.Blocks[s.pos]
+	s.pos++
+	return true
+}
+
+// SliceRegion is a Region backed by per-thread block slices, for tests.
+type SliceRegion struct {
+	Threads [][]BlockExec
+}
+
+// Thread returns a stream over the stored blocks of thread tid.
+func (r *SliceRegion) Thread(tid int) Stream {
+	return &SliceStream{Blocks: r.Threads[tid]}
+}
+
+// SliceProgram is a fully materialized Program, for tests.
+type SliceProgram struct {
+	ProgName   string
+	NumThreads int
+	Rgns       []*SliceRegion
+}
+
+// Name returns the program name.
+func (p *SliceProgram) Name() string { return p.ProgName }
+
+// Threads returns the thread count.
+func (p *SliceProgram) Threads() int { return p.NumThreads }
+
+// Regions returns the region count.
+func (p *SliceProgram) Regions() int { return len(p.Rgns) }
+
+// Region returns region i.
+func (p *SliceProgram) Region(i int) Region { return p.Rgns[i] }
+
+// CountInstrs drains a stream and returns its total instruction count.
+func CountInstrs(s Stream) uint64 {
+	var be BlockExec
+	var n uint64
+	for s.Next(&be) {
+		n += uint64(be.Instrs)
+	}
+	return n
+}
+
+// RegionInstrs returns per-thread and total instruction counts of a region.
+func RegionInstrs(r Region, threads int) (perThread []uint64, total uint64) {
+	perThread = make([]uint64, threads)
+	for t := 0; t < threads; t++ {
+		perThread[t] = CountInstrs(r.Thread(t))
+		total += perThread[t]
+	}
+	return perThread, total
+}
+
+// ConcatRegion chains several regions into one: each thread runs the
+// sub-regions back to back. It is the building block for region coalescing
+// (merging many tiny inter-barrier regions into analyzable units, the
+// extension the paper sketches for npb-ua-like workloads).
+type ConcatRegion struct {
+	Parts []Region
+}
+
+// Thread returns a stream chaining the thread's streams of every part.
+func (r *ConcatRegion) Thread(tid int) Stream {
+	ss := make([]Stream, len(r.Parts))
+	for i, p := range r.Parts {
+		ss[i] = p.Thread(tid)
+	}
+	return &chainStream{streams: ss}
+}
+
+type chainStream struct {
+	streams []Stream
+	idx     int
+}
+
+// Next implements Stream.
+func (s *chainStream) Next(be *BlockExec) bool {
+	for s.idx < len(s.streams) {
+		if s.streams[s.idx].Next(be) {
+			return true
+		}
+		s.idx++
+	}
+	return false
+}
+
+// CoalescedProgram groups a program's regions into fixed-size windows of
+// consecutive regions, reducing the region count by Factor. Sampling then
+// operates on super-regions; reconstruction semantics are unchanged because
+// a super-region is still barrier-delimited on both sides (interior
+// barriers execute inside the unit of work).
+type CoalescedProgram struct {
+	Base   Program
+	Factor int
+}
+
+// Name labels the coalesced view.
+func (p *CoalescedProgram) Name() string { return p.Base.Name() + "-coalesced" }
+
+// Threads is the base program's thread count.
+func (p *CoalescedProgram) Threads() int { return p.Base.Threads() }
+
+// Regions is ceil(base regions / Factor).
+func (p *CoalescedProgram) Regions() int {
+	return (p.Base.Regions() + p.Factor - 1) / p.Factor
+}
+
+// Region returns super-region i.
+func (p *CoalescedProgram) Region(i int) Region {
+	lo := i * p.Factor
+	hi := lo + p.Factor
+	if hi > p.Base.Regions() {
+		hi = p.Base.Regions()
+	}
+	parts := make([]Region, 0, hi-lo)
+	for r := lo; r < hi; r++ {
+		parts = append(parts, p.Base.Region(r))
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	return &ConcatRegion{Parts: parts}
+}
+
+// Coalesce wraps p so that factor consecutive inter-barrier regions form
+// one sampling unit. factor < 2 returns p unchanged.
+func Coalesce(p Program, factor int) Program {
+	if factor < 2 {
+		return p
+	}
+	return &CoalescedProgram{Base: p, Factor: factor}
+}

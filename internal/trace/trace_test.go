@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineAddr(t *testing.T) {
+	cases := []struct {
+		addr, line uint64
+	}{
+		{0, 0}, {1, 0}, {63, 0}, {64, 1}, {65, 1}, {127, 1}, {128, 2},
+		{1 << 40, 1 << 34},
+	}
+	for _, c := range cases {
+		if got := LineAddr(c.addr); got != c.line {
+			t.Errorf("LineAddr(%d) = %d, want %d", c.addr, got, c.line)
+		}
+	}
+}
+
+func TestLineAddrProperties(t *testing.T) {
+	// Same-line addresses map to the same line; addresses 64 apart differ.
+	f := func(addr uint64) bool {
+		base := addr &^ uint64(LineSize-1)
+		return LineAddr(base) == LineAddr(base+LineSize-1) &&
+			LineAddr(base)+1 == LineAddr(base+LineSize)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSliceStream(t *testing.T) {
+	blocks := []BlockExec{
+		{Block: 1, Instrs: 10},
+		{Block: 2, Instrs: 20, Accs: []Access{{Addr: 64}}},
+		{Block: 1, Instrs: 10},
+	}
+	s := &SliceStream{Blocks: blocks}
+	var be BlockExec
+	var got []int
+	for s.Next(&be) {
+		got = append(got, be.Block)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 1 {
+		t.Errorf("unexpected block sequence %v", got)
+	}
+	if s.Next(&be) {
+		t.Error("exhausted stream returned another block")
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	var be BlockExec
+	if (EmptyStream{}).Next(&be) {
+		t.Error("EmptyStream.Next returned true")
+	}
+}
+
+func TestCountInstrs(t *testing.T) {
+	s := &SliceStream{Blocks: []BlockExec{{Instrs: 5}, {Instrs: 7}, {Instrs: 1}}}
+	if got := CountInstrs(s); got != 13 {
+		t.Errorf("CountInstrs = %d, want 13", got)
+	}
+	if got := CountInstrs(EmptyStream{}); got != 0 {
+		t.Errorf("CountInstrs(empty) = %d, want 0", got)
+	}
+}
+
+func TestSliceProgram(t *testing.T) {
+	p := &SliceProgram{
+		ProgName:   "toy",
+		NumThreads: 2,
+		Rgns: []*SliceRegion{
+			{Threads: [][]BlockExec{{{Instrs: 3}}, {{Instrs: 4}, {Instrs: 5}}}},
+			{Threads: [][]BlockExec{{}, {{Instrs: 1}}}},
+		},
+	}
+	if p.Name() != "toy" || p.Threads() != 2 || p.Regions() != 2 {
+		t.Fatalf("program metadata wrong: %q %d %d", p.Name(), p.Threads(), p.Regions())
+	}
+	per, total := RegionInstrs(p.Region(0), 2)
+	if per[0] != 3 || per[1] != 9 || total != 12 {
+		t.Errorf("RegionInstrs = %v, %d; want [3 9], 12", per, total)
+	}
+	per, total = RegionInstrs(p.Region(1), 2)
+	if per[0] != 0 || per[1] != 1 || total != 1 {
+		t.Errorf("RegionInstrs = %v, %d; want [0 1], 1", per, total)
+	}
+}
+
+func TestSliceRegionRestartable(t *testing.T) {
+	r := &SliceRegion{Threads: [][]BlockExec{{{Instrs: 2}, {Instrs: 3}}}}
+	if a, b := CountInstrs(r.Thread(0)), CountInstrs(r.Thread(0)); a != b || a != 5 {
+		t.Errorf("re-created streams differ: %d vs %d", a, b)
+	}
+}

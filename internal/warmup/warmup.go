@@ -1,0 +1,145 @@
+// Package warmup implements the paper's cache warmup technique (§IV): while
+// instrumenting the application, each core tracks its most-recently-used
+// cache lines up to a capacity equal to the largest shared LLC; before
+// detailed simulation of a barrierpoint, each core replays its captured
+// lines in LRU→MRU order through the machine's normal coherent access path,
+// restoring cache and directory state without functional simulation of the
+// full history.
+package warmup
+
+import (
+	"sort"
+
+	"barrierpoint/internal/sim"
+	"barrierpoint/internal/trace"
+)
+
+// Entry is one captured cache line: line address shifted left once, with
+// the low bit carrying the dirty flag (last access was a store).
+type Entry uint64
+
+// NewEntry packs a line address and dirty flag.
+func NewEntry(line uint64, dirty bool) Entry {
+	e := Entry(line << 1)
+	if dirty {
+		e |= 1
+	}
+	return e
+}
+
+// Line returns the cache line address.
+func (e Entry) Line() uint64 { return uint64(e) >> 1 }
+
+// Dirty reports whether the captured line was last written.
+func (e Entry) Dirty() bool { return e&1 != 0 }
+
+// Snapshot is per-core warmup data for one barrierpoint: for each core, its
+// most recent lines in LRU→MRU replay order.
+type Snapshot [][]Entry
+
+// tracker accumulates one core's most-recent-access ordering.
+type tracker struct {
+	seq  uint64
+	last map[uint64]lineInfo
+}
+
+type lineInfo struct {
+	seq   uint64
+	dirty bool
+}
+
+func newTracker() *tracker {
+	return &tracker{last: make(map[uint64]lineInfo, 1024)}
+}
+
+func (t *tracker) touch(line uint64, write bool) {
+	t.seq++
+	li := t.last[line]
+	li.seq = t.seq
+	// Dirtiness is sticky: once written, a line that stays resident in the
+	// private hierarchy remains Modified until evicted, so replaying it as
+	// a store restores the common (cache-resident working set) case.
+	li.dirty = li.dirty || write
+	t.last[line] = li
+}
+
+// snapshot returns the capacity most recent lines in LRU→MRU order.
+func (t *tracker) snapshot(capacityLines int) []Entry {
+	type rec struct {
+		line uint64
+		li   lineInfo
+	}
+	recs := make([]rec, 0, len(t.last))
+	for line, li := range t.last {
+		recs = append(recs, rec{line, li})
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].li.seq < recs[j].li.seq })
+	if len(recs) > capacityLines {
+		recs = recs[len(recs)-capacityLines:]
+	}
+	out := make([]Entry, len(recs))
+	for i, r := range recs {
+		out[i] = NewEntry(r.line, r.li.dirty)
+	}
+	return out
+}
+
+// Capture replays the program's trace functionally and snapshots each
+// core's MRU state at the start of every region in atRegions. The capacity
+// is expressed in cache lines and should equal the largest shared LLC the
+// barrierpoint will ever be simulated on (paper §IV: only this one number
+// must be known).
+//
+// The returned map is keyed by region index. Regions not in atRegions cost
+// only the trace replay.
+func Capture(p trace.Program, atRegions []int, capacityLines int) map[int]Snapshot {
+	want := make(map[int]bool, len(atRegions))
+	maxRegion := -1
+	for _, r := range atRegions {
+		want[r] = true
+		if r > maxRegion {
+			maxRegion = r
+		}
+	}
+	threads := p.Threads()
+	trackers := make([]*tracker, threads)
+	for t := range trackers {
+		trackers[t] = newTracker()
+	}
+	out := make(map[int]Snapshot, len(atRegions))
+
+	for i := 0; i <= maxRegion && i < p.Regions(); i++ {
+		if want[i] {
+			snap := make(Snapshot, threads)
+			for t := range trackers {
+				snap[t] = trackers[t].snapshot(capacityLines)
+			}
+			out[i] = snap
+		}
+		r := p.Region(i)
+		for t := 0; t < threads; t++ {
+			s := r.Thread(t)
+			var be trace.BlockExec
+			for s.Next(&be) {
+				for _, a := range be.Accs {
+					trackers[t].touch(trace.LineAddr(a.Addr), a.Write)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Replay restores cache state on a fresh machine by replaying each core's
+// captured lines, oldest first, through the normal coherent access path.
+// Dirty lines replay as stores so the directory records ownership.
+func Replay(m *sim.Machine, snap Snapshot) {
+	for c, entries := range snap {
+		if c >= m.Config().Cores() {
+			break
+		}
+		for _, e := range entries {
+			m.WarmAccess(c, e.Line(), e.Dirty())
+		}
+	}
+}

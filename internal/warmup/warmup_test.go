@@ -1,0 +1,167 @@
+package warmup
+
+import (
+	"testing"
+	"testing/quick"
+
+	"barrierpoint/internal/sim"
+	"barrierpoint/internal/trace"
+	"barrierpoint/internal/workload"
+)
+
+func TestEntryRoundTrip(t *testing.T) {
+	f := func(line uint64, dirty bool) bool {
+		line &= (1 << 57) - 1
+		e := NewEntry(line, dirty)
+		return e.Line() == line && e.Dirty() == dirty
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrackerOrderAndCapacity(t *testing.T) {
+	tr := newTracker()
+	for i := 0; i < 10; i++ {
+		tr.touch(uint64(i), false)
+	}
+	tr.touch(3, true) // refresh line 3, now MRU and dirty
+	snap := tr.snapshot(5)
+	if len(snap) != 5 {
+		t.Fatalf("snapshot length %d, want 5", len(snap))
+	}
+	// MRU entry is last and is line 3, dirty.
+	last := snap[len(snap)-1]
+	if last.Line() != 3 || !last.Dirty() {
+		t.Errorf("MRU entry = line %d dirty %v", last.Line(), last.Dirty())
+	}
+	// Entries are the 5 most recent: 6,7,8,9,3 in LRU→MRU order.
+	want := []uint64{6, 7, 8, 9, 3}
+	for i, e := range snap {
+		if e.Line() != want[i] {
+			t.Errorf("entry %d = line %d, want %d", i, e.Line(), want[i])
+		}
+	}
+}
+
+func TestTrackerDirtySticky(t *testing.T) {
+	tr := newTracker()
+	tr.touch(1, true)
+	tr.touch(1, false) // read after write: line remains dirty in cache
+	snap := tr.snapshot(10)
+	if !snap[0].Dirty() {
+		t.Error("written line lost dirtiness on read")
+	}
+}
+
+func TestCaptureAtRegionStart(t *testing.T) {
+	// The snapshot at region r must reflect regions < r only.
+	p := workload.New("npb-is", 8, workload.WithScale(0.05))
+	snaps := Capture(p, []int{0, 2}, 1<<20)
+	if len(snaps[0]) != 8 {
+		t.Fatalf("snapshot has %d cores", len(snaps[0]))
+	}
+	for c := 0; c < 8; c++ {
+		if len(snaps[0][c]) != 0 {
+			t.Errorf("core %d snapshot at region 0 not empty", c)
+		}
+		if len(snaps[2][c]) == 0 {
+			t.Errorf("core %d snapshot at region 2 empty", c)
+		}
+	}
+}
+
+func TestReplayRestoresPrivateCaches(t *testing.T) {
+	// After capture+replay of a partitioned sequential workload whose
+	// footprint fits the private caches, the warmed machine must hold
+	// exactly the lines a fully simulated machine holds in L2.
+	p := workload.New("npb-sp", 8, workload.WithScale(0.5))
+	cfg := sim.TableI(1)
+
+	gt := sim.New(cfg)
+	const upTo = 10
+	for i := 0; i < upTo; i++ {
+		gt.RunRegion(p.Region(i))
+	}
+	snaps := Capture(p, []int{upTo}, cfg.L3.Lines())
+	wm := sim.New(cfg)
+	Replay(wm, snaps[upTo])
+
+	for c := 0; c < 2; c++ {
+		for _, e := range snaps[upTo][c] {
+			if gt.L2Has(c, e.Line()) && !wm.L2Has(c, e.Line()) {
+				t.Fatalf("core %d line %#x present in ground truth L2 but missing after replay", c, e.Line())
+			}
+		}
+	}
+	if err := wm.CheckInclusion(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayedRegionTimingClose(t *testing.T) {
+	// End-to-end: the warmed barrierpoint run must land near the ground
+	// truth timing of the same region (well under the cold-start error).
+	p := workload.New("npb-ft", 8, workload.WithScale(0.5))
+	cfg := sim.TableI(1)
+	const r = 14 // a steady-state evolve instance
+
+	gt := sim.New(cfg)
+	var want sim.RegionResult
+	for i := 0; i <= r; i++ {
+		want = gt.RunRegion(p.Region(i))
+	}
+
+	snaps := Capture(p, []int{r}, cfg.L3.Lines())
+	warm := sim.New(cfg)
+	Replay(warm, snaps[r])
+	for q := r - 3; q < r; q++ {
+		warm.WarmRegion(p.Region(q))
+	}
+	got := warm.RunRegion(p.Region(r))
+
+	cold := sim.New(cfg)
+	coldRes := cold.RunRegion(p.Region(r))
+
+	warmErr := relDiff(float64(got.Cycles), float64(want.Cycles))
+	coldErr := relDiff(float64(coldRes.Cycles), float64(want.Cycles))
+	if warmErr > 0.25 {
+		t.Errorf("warmed run off by %.1f%%", warmErr*100)
+	}
+	if coldErr < 2*warmErr {
+		t.Errorf("warmup did not help: warm %.2f vs cold %.2f", warmErr, coldErr)
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d / b
+}
+
+func TestCaptureCapacityTruncation(t *testing.T) {
+	// A tiny capacity keeps only the most recent lines.
+	p := workload.New("npb-ft", 8, workload.WithScale(0.1))
+	snaps := Capture(p, []int{5}, 16)
+	for c, entries := range snaps[5] {
+		if len(entries) > 16 {
+			t.Errorf("core %d snapshot exceeds capacity: %d", c, len(entries))
+		}
+	}
+}
+
+func TestReplayMoreCoresThanSnapshot(t *testing.T) {
+	// Replaying a snapshot with fewer cores than the machine must not
+	// panic; extra machine cores just stay cold.
+	cfg := sim.Tiny(4)
+	m := sim.New(cfg)
+	snap := Snapshot{{NewEntry(1, false)}, {NewEntry(2, true)}}
+	Replay(m, snap)
+	if !m.L2Has(0, 1) || !m.L2Has(1, 2) {
+		t.Error("replay skipped provided cores")
+	}
+}
+
+var _ = trace.LineSize // keep import for documentation symmetry

@@ -1,0 +1,88 @@
+package barrierpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SavedSelection is the serializable form of a barrierpoint selection: the
+// durable artifact of the one-time analysis (paper Fig. 2, "one-time
+// costs"). It is machine-independent and can be reused across simulator
+// configurations and core counts (with ReboundTo for different counts).
+type SavedSelection struct {
+	Program      string         `json:"program"`
+	Threads      int            `json:"threads"`
+	Regions      int            `json:"regions"`
+	K            int            `json:"k"`
+	Assignment   []int          `json:"assignment"`
+	Points       []BarrierPoint `json:"points"`
+	RegionInstrs []uint64       `json:"region_instrs"`
+	Signature    string         `json:"signature"` // options label, e.g. "combine"
+}
+
+// Save serializes the analysis' selection to w as JSON.
+func (a *Analysis) Save(w io.Writer) error {
+	instrs := make([]uint64, len(a.Profiles))
+	for i, rd := range a.Profiles {
+		instrs[i] = rd.TotalInstrs
+	}
+	s := SavedSelection{
+		Program:      a.Program.Name(),
+		Threads:      a.Program.Threads(),
+		Regions:      a.Program.Regions(),
+		K:            a.Selection.K,
+		Assignment:   a.Selection.Assignment,
+		Points:       a.Selection.Points,
+		RegionInstrs: instrs,
+		Signature:    a.Config.Signature.Label(),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("barrierpoint: saving selection: %w", err)
+	}
+	return nil
+}
+
+// LoadSelection deserializes a selection previously written by Save.
+func LoadSelection(r io.Reader) (*SavedSelection, error) {
+	var s SavedSelection
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("barrierpoint: loading selection: %w", err)
+	}
+	if len(s.Assignment) != s.Regions || len(s.RegionInstrs) != s.Regions {
+		return nil, fmt.Errorf("barrierpoint: selection for %d regions has %d assignments and %d counts",
+			s.Regions, len(s.Assignment), len(s.RegionInstrs))
+	}
+	for _, p := range s.Points {
+		if p.Region < 0 || p.Region >= s.Regions {
+			return nil, fmt.Errorf("barrierpoint: barrierpoint region %d out of range [0,%d)", p.Region, s.Regions)
+		}
+	}
+	return &s, nil
+}
+
+// Bind attaches a saved selection to a program instance, validating that
+// the program matches what was analyzed. The returned Analysis can simulate
+// barrierpoints and estimate without re-profiling or re-clustering — the
+// "per-simulation costs" path of the paper's Fig. 2.
+func (s *SavedSelection) Bind(p Program) (*Analysis, error) {
+	if p.Name() != s.Program && p.Name() != s.Program+"-coalesced" {
+		return nil, fmt.Errorf("barrierpoint: selection is for %q, program is %q", s.Program, p.Name())
+	}
+	if p.Regions() != s.Regions {
+		return nil, fmt.Errorf("barrierpoint: selection has %d regions, program has %d", s.Regions, p.Regions())
+	}
+	sel := &Selection{
+		K:          s.K,
+		Assignment: s.Assignment,
+		Points:     s.Points,
+	}
+	weights := make([]float64, len(s.RegionInstrs))
+	for i, n := range s.RegionInstrs {
+		weights[i] = float64(n)
+	}
+	sel.RegionWeights = weights
+	return &Analysis{Program: p, Config: DefaultConfig(), Profiles: nil, Selection: sel}, nil
+}

@@ -1,0 +1,76 @@
+package barrierpoint_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	bp "barrierpoint"
+	"barrierpoint/internal/workload"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	prog := workload.New("npb-ft", 8, workload.WithScale(0.2))
+	a, err := bp.Analyze(prog, bp.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s, err := bp.LoadSelection(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Program != "npb-ft" || s.Threads != 8 || s.K != a.Selection.K {
+		t.Errorf("metadata wrong: %+v", s)
+	}
+	bound, err := s.Bind(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bound analysis estimates identically to the original.
+	mc := bp.TableIMachine(1)
+	e1, err := a.Estimate(mc, bp.MRUWarmup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := bound.Estimate(mc, bp.MRUWarmup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.TimeNs != e2.TimeNs {
+		t.Errorf("bound estimate differs: %v vs %v", e1.TimeNs, e2.TimeNs)
+	}
+	if a.SerialSpeedup() != bound.SerialSpeedup() {
+		t.Errorf("bound speedup differs: %v vs %v", a.SerialSpeedup(), bound.SerialSpeedup())
+	}
+}
+
+func TestBindValidation(t *testing.T) {
+	prog := workload.New("npb-ft", 8, workload.WithScale(0.2))
+	a, _ := bp.Analyze(prog, bp.DefaultConfig())
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := bp.LoadSelection(&buf)
+	if _, err := s.Bind(workload.New("npb-is", 8, workload.WithScale(0.2))); err == nil {
+		t.Error("binding to a different program accepted")
+	}
+}
+
+func TestLoadSelectionErrors(t *testing.T) {
+	if _, err := bp.LoadSelection(strings.NewReader("{")); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	bad := `{"program":"x","threads":8,"regions":2,"assignment":[0],"points":[],"region_instrs":[1,2]}`
+	if _, err := bp.LoadSelection(strings.NewReader(bad)); err == nil {
+		t.Error("inconsistent selection accepted")
+	}
+	badPoint := `{"program":"x","threads":8,"regions":1,"assignment":[0],"points":[{"Region":5}],"region_instrs":[1]}`
+	if _, err := bp.LoadSelection(strings.NewReader(badPoint)); err == nil {
+		t.Error("out-of-range barrierpoint accepted")
+	}
+}
