@@ -17,6 +17,14 @@
 // SimulateFull provides the ground-truth detailed simulation used to
 // validate estimates, and the package exposes speedup/resource accounting
 // matching the paper's Figure 9.
+//
+// Programs need not live in memory: SaveTrace/RecordTrace persist any
+// Program as a compact binary trace file, and OpenTrace replays one with
+// regions streaming straight off disk (O(region) memory), producing
+// bit-identical signatures, selections and simulation results. This is the
+// record/replay path for analyzing traces captured elsewhere — see
+// internal/tracefile for the file format and cmd/bptool's record and info
+// subcommands for the CLI.
 package barrierpoint
 
 import (
@@ -30,6 +38,7 @@ import (
 	"barrierpoint/internal/signature"
 	"barrierpoint/internal/sim"
 	"barrierpoint/internal/trace"
+	"barrierpoint/internal/tracefile"
 	"barrierpoint/internal/warmup"
 )
 
@@ -64,7 +73,17 @@ type (
 	Selection = cluster.Result
 	// Estimate is a reconstructed whole-program prediction.
 	Estimate = reconstruct.Estimate
+
+	// TraceFile is a recorded trace opened for replay; it implements
+	// Program with regions streaming off disk.
+	TraceFile = tracefile.File
+	// TraceOption configures trace recording (see WithTraceGzip).
+	TraceOption = tracefile.Option
 )
+
+// WithTraceGzip enables or disables per-chunk gzip compression when
+// recording a trace.
+func WithTraceGzip(on bool) TraceOption { return tracefile.WithGzip(on) }
 
 // Signature kind constants, re-exported for configuration.
 const (

@@ -10,8 +10,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -21,15 +23,31 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "bpexp: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+// run parses flags and executes the requested experiments; it is the
+// testable entry point of the tool.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bpexp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp      = flag.String("exp", "", "experiment to run: table1 table2 table3 fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 ablation-scaling ablation-threads ablation-warmup")
-		all      = flag.Bool("all", false, "run every experiment in paper order")
-		scale    = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper-shaped)")
-		bench    = flag.String("bench", "", "comma-separated benchmark subset (default: all)")
-		markdown = flag.Bool("markdown", false, "render tables as markdown")
-		quiet    = flag.Bool("q", false, "suppress progress timing")
+		exp      = fs.String("exp", "", "experiment to run: table1 table2 table3 fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 ablation-scaling ablation-threads ablation-warmup")
+		all      = fs.Bool("all", false, "run every experiment in paper order")
+		scale    = fs.Float64("scale", 1.0, "workload scale factor (1.0 = paper-shaped)")
+		bench    = fs.String("bench", "", "comma-separated benchmark subset (default: all)")
+		markdown = fs.Bool("markdown", false, "render tables as markdown")
+		quiet    = fs.Bool("q", false, "suppress progress timing")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	h := experiments.New(*scale)
 	if *bench != "" {
@@ -38,14 +56,14 @@ func main() {
 
 	render := func(t *report.Table) {
 		if *markdown {
-			fmt.Println(t.Markdown())
+			fmt.Fprintln(stdout, t.Markdown())
 		} else {
-			t.Render(os.Stdout)
-			fmt.Println()
+			t.Render(stdout)
+			fmt.Fprintln(stdout)
 		}
 	}
 
-	run := func(name string) {
+	run1 := func(name string) error {
 		start := time.Now()
 		switch name {
 		case "table1":
@@ -82,12 +100,12 @@ func main() {
 		case "ablation-warmup":
 			render(h.AblationWarmup())
 		default:
-			fmt.Fprintf(os.Stderr, "bpexp: unknown experiment %q\n", name)
-			os.Exit(2)
+			return fmt.Errorf("unknown experiment %q", name)
 		}
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
 		}
+		return nil
 	}
 
 	switch {
@@ -97,12 +115,15 @@ func main() {
 			"table3", "fig7", "fig8", "fig9",
 			"ablation-scaling", "ablation-threads", "ablation-warmup",
 		} {
-			run(name)
+			if err := run1(name); err != nil {
+				return err
+			}
 		}
+		return nil
 	case *exp != "":
-		run(*exp)
+		return run1(*exp)
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return fmt.Errorf("nothing to do: pass -exp or -all")
 	}
 }

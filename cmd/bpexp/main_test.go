@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func exec(t *testing.T, args ...string) (stdout, stderr string) {
+	t.Helper()
+	var out, errOut strings.Builder
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatalf("run(%v) = %v\nstderr:\n%s", args, err, errOut.String())
+	}
+	return out.String(), errOut.String()
+}
+
+func TestTable1(t *testing.T) {
+	out, stderr := exec(t, "-exp", "table1")
+	if !strings.Contains(out, "Table I") || !strings.Contains(out, "L3 cache") {
+		t.Errorf("table1 output unexpected:\n%s", out)
+	}
+	if !strings.Contains(stderr, "[table1 done in") {
+		t.Errorf("progress timing missing from stderr:\n%s", stderr)
+	}
+}
+
+func TestTable2Markdown(t *testing.T) {
+	out, _ := exec(t, "-exp", "table2", "-markdown", "-q")
+	if !strings.Contains(out, "**Table II") || !strings.Contains(out, "| --- | --- |") {
+		t.Errorf("markdown table2 output unexpected:\n%s", out)
+	}
+}
+
+func TestQuietSuppressesTiming(t *testing.T) {
+	_, stderr := exec(t, "-exp", "table2", "-q")
+	if strings.Contains(stderr, "done in") {
+		t.Errorf("-q did not suppress timing:\n%s", stderr)
+	}
+}
+
+func TestFig1BenchSubset(t *testing.T) {
+	out, _ := exec(t, "-exp", "fig1", "-bench", "npb-ft,npb-is", "-q")
+	if !strings.Contains(out, "npb-ft") || !strings.Contains(out, "npb-is") {
+		t.Errorf("fig1 missing requested benches:\n%s", out)
+	}
+	if strings.Contains(out, "npb-sp") {
+		t.Errorf("fig1 includes benches outside -bench subset:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for name, args := range map[string][]string{
+		"unknown-exp": {"-exp", "fig99"},
+		"no-args":     {},
+		"bad-flag":    {"-nope"},
+	} {
+		t.Run(name, func(t *testing.T) {
+			var out, errOut strings.Builder
+			if err := run(args, &out, &errOut); err == nil {
+				t.Fatalf("run(%v) succeeded, want error", args)
+			}
+		})
+	}
+}

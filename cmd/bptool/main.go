@@ -1,42 +1,208 @@
 // Command bptool runs the BarrierPoint pipeline end to end on one workload
 // and prints the selection, the estimate, and its accuracy against a full
-// detailed simulation.
+// detailed simulation. It can also record workloads to binary trace files
+// and analyze those recordings, so the expensive pipeline stages can run
+// from disk, out of process.
 //
 // Usage:
 //
 //	bptool -workload npb-ft -cores 8
 //	bptool -workload npb-sp -cores 32 -warmup mru -skip-full
 //	bptool -list
+//	bptool record -workload npb-ft -cores 8 -gzip -o ft.bptrace
+//	bptool info ft.bptrace
+//	bptool info -verify ft.bptrace
+//	bptool -trace ft.bptrace -skip-full
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	bp "barrierpoint"
 	"barrierpoint/internal/report"
 	"barrierpoint/internal/stats"
+	"barrierpoint/internal/trace"
 	"barrierpoint/internal/workload"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "bptool: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run dispatches subcommands; it is the testable entry point of the tool.
+func run(args []string, stdout, stderr io.Writer) error {
+	if len(args) > 0 {
+		switch args[0] {
+		case "record":
+			return runRecord(args[1:], stdout, stderr)
+		case "info":
+			return runInfo(args[1:], stdout, stderr)
+		}
+	}
+	return runAnalyze(args, stdout, stderr)
+}
+
+// checkCores validates a thread/core count against the Table I machines.
+func checkCores(cores int) error {
+	if cores%8 != 0 || cores < 8 || cores > 64 {
+		return fmt.Errorf("cores must be a multiple of 8 in [8, 64], got %d", cores)
+	}
+	return nil
+}
+
+// checkWorkload validates a benchmark name before construction
+// (workload.New panics on unknown names).
+func checkWorkload(name string) error {
+	if !workload.Exists(name) {
+		return fmt.Errorf("unknown workload %q (see bptool -list)", name)
+	}
+	return nil
+}
+
+// parse wraps FlagSet.Parse, mapping -h/-help to a clean success.
+func parse(fs *flag.FlagSet, args []string) (help bool, err error) {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return true, nil
+		}
+		return false, err
+	}
+	return false, nil
+}
+
+// runRecord records a built-in workload to a binary trace file.
+func runRecord(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bptool record", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		name     = flag.String("workload", "npb-ft", "benchmark name (see -list)")
-		cores    = flag.Int("cores", 8, "thread/core count (8 or 32 for Table I machines)")
-		scale    = flag.Float64("scale", 1.0, "workload scale factor")
-		warmupFl = flag.String("warmup", "mru+prev", "warmup mode: cold, mru, mru+prev")
-		skipFull = flag.Bool("skip-full", false, "skip the ground-truth simulation (no error report)")
-		list     = flag.Bool("list", false, "list available workloads and exit")
+		name  = fs.String("workload", "npb-ft", "benchmark name (see bptool -list)")
+		cores = fs.Int("cores", 8, "thread/core count (8 or 32 for Table I machines)")
+		scale = fs.Float64("scale", 1.0, "workload scale factor")
+		gz    = fs.Bool("gzip", false, "gzip-compress trace chunks")
+		out   = fs.String("o", "", "output path (default <workload>-<cores>t.bptrace)")
 	)
-	flag.Parse()
+	if help, err := parse(fs, args); help || err != nil {
+		return err
+	}
+	if err := checkWorkload(*name); err != nil {
+		return err
+	}
+	if err := checkCores(*cores); err != nil {
+		return err
+	}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("%s-%dt.bptrace", *name, *cores)
+	}
+
+	prog := workload.New(*name, *cores, workload.WithScale(*scale))
+	start := time.Now()
+	if err := bp.SaveTrace(path, prog, bp.WithTraceGzip(*gz)); err != nil {
+		return err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "recorded %s (%d threads, %d regions) to %s: %.1f MB in %v\n",
+		prog.Name(), prog.Threads(), prog.Regions(), path,
+		float64(st.Size())/(1<<20), time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runInfo prints the metadata and streamed statistics of a trace file.
+func runInfo(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bptool info", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	verify := fs.Bool("verify", false, "fully decode every chunk to check integrity")
+	if help, err := parse(fs, args); help || err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: bptool info [-verify] <file.bptrace>")
+	}
+	path := fs.Arg(0)
+
+	f, err := bp.OpenTrace(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+
+	compression := "none"
+	if f.Gzipped() {
+		compression = "gzip"
+	}
+	fmt.Fprintf(stdout, "program:     %s\n", f.Name())
+	fmt.Fprintf(stdout, "threads:     %d\n", f.Threads())
+	fmt.Fprintf(stdout, "regions:     %d\n", f.Regions())
+	fmt.Fprintf(stdout, "compression: %s\n", compression)
+	fmt.Fprintf(stdout, "file size:   %d bytes\n", st.Size())
+
+	// Integrity first: a corrupt chunk silently truncates its stream (the
+	// Stream interface has no error channel), so statistics computed below
+	// would be garbage on a damaged file.
+	if *verify {
+		if err := f.Verify(); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "integrity:   ok")
+	}
+
+	// Stream every region (never more than one in memory) for totals.
+	var total, largest uint64
+	largestRegion := 0
+	for i := 0; i < f.Regions(); i++ {
+		_, n := trace.RegionInstrs(f.Region(i), f.Threads())
+		total += n
+		if n > largest {
+			largest, largestRegion = n, i
+		}
+	}
+	fmt.Fprintf(stdout, "instructions: %d total", total)
+	if f.Regions() > 0 {
+		fmt.Fprintf(stdout, ", largest region %d with %d", largestRegion, largest)
+	}
+	fmt.Fprintln(stdout)
+	return nil
+}
+
+// runAnalyze is the classic pipeline: analyze, estimate, and (optionally)
+// validate against a full simulation — from a built-in workload or from a
+// recorded trace file.
+func runAnalyze(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bptool", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		name      = fs.String("workload", "npb-ft", "benchmark name (see -list)")
+		cores     = fs.Int("cores", 8, "thread/core count (8 or 32 for Table I machines)")
+		scale     = fs.Float64("scale", 1.0, "workload scale factor")
+		tracePath = fs.String("trace", "", "analyze a recorded trace file instead of a built-in workload")
+		warmupFl  = fs.String("warmup", "mru+prev", "warmup mode: cold, mru, mru+prev")
+		skipFull  = fs.Bool("skip-full", false, "skip the ground-truth simulation (no error report)")
+		list      = fs.Bool("list", false, "list available workloads and exit")
+	)
+	if help, err := parse(fs, args); help || err != nil {
+		return err
+	}
 
 	if *list {
 		for _, n := range workload.Names() {
-			fmt.Println(n)
+			fmt.Fprintln(stdout, n)
 		}
-		return
+		return nil
 	}
 
 	var mode bp.WarmupMode
@@ -48,24 +214,37 @@ func main() {
 	case "mru+prev":
 		mode = bp.MRUPrevWarmup
 	default:
-		fmt.Fprintf(os.Stderr, "bptool: unknown warmup mode %q\n", *warmupFl)
-		os.Exit(2)
-	}
-	if *cores%8 != 0 || *cores < 8 || *cores > 64 {
-		fmt.Fprintln(os.Stderr, "bptool: cores must be a multiple of 8 in [8, 64]")
-		os.Exit(2)
+		return fmt.Errorf("unknown warmup mode %q", *warmupFl)
 	}
 
-	prog := workload.New(*name, *cores, workload.WithScale(*scale))
-	mc := bp.TableIMachine(*cores / 8)
+	var prog bp.Program
+	if *tracePath != "" {
+		f, err := bp.OpenTrace(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		prog = f
+	} else {
+		if err := checkWorkload(*name); err != nil {
+			return err
+		}
+		if err := checkCores(*cores); err != nil {
+			return err
+		}
+		prog = workload.New(*name, *cores, workload.WithScale(*scale))
+	}
+	if err := checkCores(prog.Threads()); err != nil {
+		return err
+	}
+	mc := bp.TableIMachine(prog.Threads() / 8)
 
 	start := time.Now()
 	analysis, err := bp.Analyze(prog, bp.DefaultConfig())
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "bptool: %v\n", err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Printf("%s, %d threads: %d regions, %d barrierpoints (analysis in %v)\n\n",
+	fmt.Fprintf(stdout, "%s, %d threads: %d regions, %d barrierpoints (analysis in %v)\n\n",
 		prog.Name(), prog.Threads(), prog.Regions(), len(analysis.BarrierPoints()),
 		time.Since(start).Round(time.Millisecond))
 
@@ -73,32 +252,31 @@ func main() {
 	for _, p := range analysis.BarrierPoints() {
 		t.AddRow(fmt.Sprintf("%d", p.Region), fmt.Sprintf("%.2f", p.Multiplier), fmt.Sprintf("%.4f", p.Weight))
 	}
-	t.Render(os.Stdout)
+	t.Render(stdout)
 
-	fmt.Printf("\nserial speedup %.1fx, parallel speedup %.1fx, resource reduction %.1fx\n",
+	fmt.Fprintf(stdout, "\nserial speedup %.1fx, parallel speedup %.1fx, resource reduction %.1fx\n",
 		analysis.SerialSpeedup(), analysis.ParallelSpeedup(), analysis.ResourceReduction())
 
 	start = time.Now()
 	est, err := analysis.Estimate(mc, mode)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "bptool: %v\n", err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Printf("\nestimate (%s warmup, %v): runtime %.3f ms, IPC %.2f, DRAM APKI %.2f\n",
+	fmt.Fprintf(stdout, "\nestimate (%s warmup, %v): runtime %.3f ms, IPC %.2f, DRAM APKI %.2f\n",
 		mode, time.Since(start).Round(time.Millisecond), est.TimeNs/1e6, est.IPC(), est.DRAMAPKI())
 
 	if *skipFull {
-		return
+		return nil
 	}
 	start = time.Now()
 	full, err := bp.SimulateFull(prog, mc)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "bptool: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	act := bp.ActualFrom(full)
-	fmt.Printf("actual   (full simulation, %v): runtime %.3f ms, IPC %.2f, DRAM APKI %.2f\n",
+	fmt.Fprintf(stdout, "actual   (full simulation, %v): runtime %.3f ms, IPC %.2f, DRAM APKI %.2f\n",
 		time.Since(start).Round(time.Millisecond), act.TimeNs/1e6, act.IPC(), act.DRAMAPKI())
-	fmt.Printf("runtime error %.2f%%, APKI difference %.3f\n",
+	fmt.Fprintf(stdout, "runtime error %.2f%%, APKI difference %.3f\n",
 		stats.AbsPctErr(est.TimeNs, act.TimeNs), est.DRAMAPKI()-act.DRAMAPKI())
+	return nil
 }

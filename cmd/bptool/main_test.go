@@ -1,0 +1,130 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// exec runs the tool with args and returns its stdout, failing on error.
+func exec(t *testing.T, args ...string) string {
+	t.Helper()
+	var out, errOut strings.Builder
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatalf("run(%v) = %v\nstderr:\n%s", args, err, errOut.String())
+	}
+	return out.String()
+}
+
+// execErr runs the tool expecting failure and returns the error.
+func execErr(t *testing.T, args ...string) error {
+	t.Helper()
+	var out, errOut strings.Builder
+	err := run(args, &out, &errOut)
+	if err == nil {
+		t.Fatalf("run(%v) succeeded, want error\nstdout:\n%s", args, out.String())
+	}
+	return err
+}
+
+func TestListWorkloads(t *testing.T) {
+	out := exec(t, "-list")
+	for _, want := range []string{"npb-ft", "npb-is", "parsec-bodytrack"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRecordInfoAnalyzePipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full pipeline twice")
+	}
+	path := filepath.Join(t.TempDir(), "ft.bptrace")
+
+	out := exec(t, "record", "-workload", "npb-ft", "-cores", "8", "-scale", "0.1", "-gzip", "-o", path)
+	if !strings.Contains(out, "recorded npb-ft (8 threads, 34 regions)") {
+		t.Errorf("record output unexpected:\n%s", out)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("record did not create the file: %v", err)
+	}
+
+	out = exec(t, "info", "-verify", path)
+	for _, want := range []string{
+		"program:     npb-ft",
+		"threads:     8",
+		"regions:     34",
+		"compression: gzip",
+		"integrity:   ok",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("info output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Analyze from the recording: the full pipeline, machine sized from
+	// the file's thread count.
+	out = exec(t, "-trace", path, "-warmup", "cold", "-skip-full")
+	if !strings.Contains(out, "npb-ft, 8 threads: 34 regions") {
+		t.Errorf("analyze-from-trace output unexpected:\n%s", out)
+	}
+	if !strings.Contains(out, "Selected barrierpoints") || !strings.Contains(out, "estimate (cold warmup") {
+		t.Errorf("analyze-from-trace output missing sections:\n%s", out)
+	}
+}
+
+func TestRecordDefaultOutputPath(t *testing.T) {
+	t.Chdir(t.TempDir())
+	exec(t, "record", "-workload", "npb-is", "-cores", "8", "-scale", "0.1")
+	if _, err := os.Stat("npb-is-8t.bptrace"); err != nil {
+		t.Fatalf("default output file missing: %v", err)
+	}
+}
+
+func TestAnalyzeWorkloadDirect(t *testing.T) {
+	out := exec(t, "-workload", "npb-is", "-cores", "8", "-scale", "0.1", "-warmup", "mru", "-skip-full")
+	if !strings.Contains(out, "npb-is, 8 threads") || !strings.Contains(out, "estimate (mru warmup") {
+		t.Errorf("analyze output unexpected:\n%s", out)
+	}
+}
+
+func TestHelpIsNotAnError(t *testing.T) {
+	for _, args := range [][]string{{"-h"}, {"record", "-h"}, {"info", "-h"}} {
+		var out, errOut strings.Builder
+		if err := run(args, &out, &errOut); err != nil {
+			t.Errorf("run(%v) = %v, want nil (usage on stderr)", args, err)
+		}
+		if !strings.Contains(errOut.String(), "-workload") && !strings.Contains(errOut.String(), "-verify") {
+			t.Errorf("run(%v) printed no usage:\n%s", args, errOut.String())
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string][]string{
+		"bad-warmup":          {"-workload", "npb-is", "-scale", "0.1", "-warmup", "nope"},
+		"bad-cores":           {"-workload", "npb-is", "-cores", "7"},
+		"zero-cores":          {"-workload", "npb-is", "-cores", "0"},
+		"bad-record-cores":    {"record", "-workload", "npb-is", "-cores", "12"},
+		"bad-workload":        {"-workload", "npb-zz", "-cores", "8"},
+		"bad-record-workload": {"record", "-workload", "npb-zz"},
+		"info-missing":        {"info", filepath.Join(dir, "nope.bptrace")},
+		"info-no-arg":         {"info"},
+		"bad-flag":            {"-definitely-not-a-flag"},
+	}
+	for name, args := range cases {
+		t.Run(name, func(t *testing.T) { execErr(t, args...) })
+	}
+
+	// A non-trace file must be rejected cleanly.
+	junk := filepath.Join(dir, "junk.bptrace")
+	if err := os.WriteFile(junk, []byte("this is not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := execErr(t, "info", junk); !strings.Contains(err.Error(), "tracefile") {
+		t.Errorf("info on junk file: unexpected error %v", err)
+	}
+}

@@ -1,0 +1,72 @@
+// Recorded: the record -> analyze -> simulate -> estimate pipeline from
+// disk. A workload is recorded once to a binary trace file; every later
+// stage — profiling, barrierpoint selection, warmed detailed simulation,
+// whole-program reconstruction, even the ground-truth validation — replays
+// regions straight off the file with O(region) memory, exactly as it would
+// for a trace captured from a real application in another process.
+//
+//	go run ./examples/recorded
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	bp "barrierpoint"
+	"barrierpoint/internal/workload"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "barrierpoint-recorded")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "npb-ft-8t.bptrace")
+
+	// 1. Record: one forward pass over the workload's trace streams writes
+	//    the compact varint-encoded file (gzip per chunk, random access via
+	//    the trailing index). After this the in-memory program is gone.
+	if err := bp.SaveTrace(path, workload.New("npb-ft", 8), bp.WithTraceGzip(true)); err != nil {
+		log.Fatal(err)
+	}
+	st, _ := os.Stat(path)
+	fmt.Printf("recorded npb-ft to %s (%.1f MB, gzip)\n", filepath.Base(path), float64(st.Size())/(1<<20))
+
+	// 2. Replay: the opened file is a bp.Program; regions stream off disk.
+	prog, err := bp.OpenTrace(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer prog.Close()
+	machine := bp.TableIMachine(prog.Threads() / 8)
+
+	// 3. Analyze the recorded trace: profile every region, select
+	//    barrierpoints. Identical to analyzing the in-memory original.
+	analysis, err := bp.Analyze(prog, bp.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d regions -> %d barrierpoints\n",
+		prog.Name(), prog.Regions(), len(analysis.BarrierPoints()))
+
+	// 4. Simulate only the barrierpoints (MRU-warmed, in parallel) and
+	//    reconstruct the whole-program estimate.
+	est, err := analysis.Estimate(machine, bp.MRUPrevWarmup)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("estimated runtime %.3f ms (IPC %.2f, DRAM APKI %.2f)\n",
+		est.TimeNs/1e6, est.IPC(), est.DRAMAPKI())
+
+	// 5. Validate against the full detailed simulation, also from disk.
+	full, err := bp.SimulateFull(prog, machine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	act := bp.ActualFrom(full)
+	fmt.Printf("actual    runtime %.3f ms -> error %.2f%%\n",
+		act.TimeNs/1e6, 100*(est.TimeNs-act.TimeNs)/act.TimeNs)
+}

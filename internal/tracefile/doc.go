@@ -1,0 +1,75 @@
+// Package tracefile persists trace.Program executions as compact binary
+// files and replays them with O(region) memory: every inter-barrier region
+// streams straight off disk through the trace.Stream interface, so recorded
+// traces feed the profiler, warmup capturer and timing simulator exactly
+// like in-memory programs — including region-parallel execution, because
+// chunks are independently addressable and os.File supports concurrent
+// ReadAt.
+//
+// # File layout (version 1)
+//
+//	+--------------------------------------------------------------+
+//	| magic "BPTRACE1" (8 bytes)                                    |
+//	+--------------------------------------------------------------+
+//	| chunk[region 0][thread 0]                                     |
+//	| chunk[region 0][thread 1]                                     |
+//	| ...                                                           |
+//	| chunk[region R-1][thread T-1]                                 |
+//	+--------------------------------------------------------------+
+//	| footer (see below)                                            |
+//	+--------------------------------------------------------------+
+//	| footer offset (uint64 little-endian, 8 bytes)                 |
+//	| trailer magic "BPTIDX1\n" (8 bytes)                           |
+//	+--------------------------------------------------------------+
+//
+// Chunks are laid out region-major: all T thread streams of region 0, then
+// region 1, and so on. A reader seeks to the end, validates the trailer
+// magic, reads the footer offset, and parses the footer — the trailing
+// index — to learn the chunk boundaries. Appending the index instead of
+// prepending it lets Record work on a pure io.Writer in one pass, without
+// buffering the whole program or seeking.
+//
+// # Footer
+//
+// All integers below are unsigned varints (encoding/binary Uvarint) unless
+// noted:
+//
+//	nameLen, name bytes      program name
+//	threads                  thread count T
+//	regions                  region count R
+//	flags (1 raw byte)       bit 0: chunks are gzip-compressed
+//	R*T chunk lengths        compressed byte length of every chunk,
+//	                         region-major, in file order
+//
+// Chunk byte offsets are not stored; they are the prefix sums of the
+// lengths, starting immediately after the 8-byte magic. The footer is
+// self-validating: the lengths must sum exactly to footerOffset-8.
+//
+// # Chunk encoding
+//
+// A chunk is the dynamic basic block sequence of one thread within one
+// region. With the gzip flag set, each chunk is an independent gzip stream
+// (so random access never decompresses neighbouring chunks); otherwise it
+// is the raw encoding. Per trace.BlockExec, the encoding is:
+//
+//	hdr      uvarint: len(Accs)<<2 | Branch<<1 | Taken
+//	block    varint (zigzag): Block delta vs the previous record's Block
+//	instrs   uvarint: Instrs
+//	writes   ceil(len(Accs)/8) raw bytes: Access.Write bits, LSB-first
+//	addrs    len(Accs) varints (zigzag): Access.Addr delta vs the
+//	         previous access address (carried across records)
+//
+// Both delta predictors (previous block id, previous access address) start
+// at zero at the beginning of every chunk, so chunks decode independently.
+// Delta coding makes the common patterns — loop bodies re-executing the
+// same block, sequential and strided sweeps — encode in one or two bytes
+// per field. End of chunk is end of data: a clean EOF at a record boundary
+// terminates the stream.
+//
+// # Versioning
+//
+// The format version lives in the leading magic ("BPTRACE1") and the
+// trailer magic ("BPTIDX1\n"). Incompatible revisions bump the digit in
+// both; Open rejects files whose magics it does not recognize, and the
+// flags byte leaves room for backward-compatible feature bits.
+package tracefile

@@ -1,0 +1,230 @@
+package tracefile
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"barrierpoint/internal/trace"
+)
+
+// File is a recorded trace opened for replay. It implements trace.Program;
+// regions stream straight off the underlying reader, so holding a File
+// costs O(index), not O(trace). Region and Thread may be used concurrently
+// from multiple goroutines (reads go through io.ReaderAt).
+type File struct {
+	ra      io.ReaderAt
+	closer  io.Closer
+	name    string
+	threads int
+	regions int
+	gzip    bool
+	// offs holds regions*threads+1 prefix-summed chunk offsets; chunk i
+	// occupies [offs[i], offs[i+1]).
+	offs []int64
+}
+
+// Open opens the trace file at path for replay.
+func Open(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("tracefile: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("tracefile: %w", err)
+	}
+	tf, err := NewReader(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	tf.closer = f
+	return tf, nil
+}
+
+// NewReader opens a trace stored in an arbitrary io.ReaderAt of the given
+// total size (a memory buffer, an mmap, a remote object). The caller keeps
+// ownership of ra; Close on the returned File is a no-op.
+func NewReader(ra io.ReaderAt, size int64) (*File, error) {
+	if size < magicLen+tailLen {
+		return nil, fmt.Errorf("tracefile: file too short (%d bytes)", size)
+	}
+	head := make([]byte, magicLen)
+	if _, err := ra.ReadAt(head, 0); err != nil {
+		return nil, fmt.Errorf("tracefile: reading header: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("tracefile: bad magic %q (not a trace file, or unsupported version)", head)
+	}
+	tail := make([]byte, tailLen)
+	if _, err := ra.ReadAt(tail, size-tailLen); err != nil {
+		return nil, fmt.Errorf("tracefile: reading trailer: %w", err)
+	}
+	if string(tail[8:]) != trailerMagic {
+		return nil, fmt.Errorf("tracefile: bad trailer magic %q (truncated file?)", tail[8:])
+	}
+	footerOff := int64(binary.LittleEndian.Uint64(tail[:8]))
+	if footerOff < magicLen || footerOff > size-tailLen {
+		return nil, fmt.Errorf("tracefile: footer offset %d out of range [%d, %d]", footerOff, magicLen, size-tailLen)
+	}
+
+	footer := make([]byte, size-tailLen-footerOff)
+	if _, err := ra.ReadAt(footer, footerOff); err != nil {
+		return nil, fmt.Errorf("tracefile: reading footer: %w", err)
+	}
+	fr := bytes.NewReader(footer)
+	nameLen, err := binary.ReadUvarint(fr)
+	if err != nil || nameLen > uint64(len(footer)) {
+		return nil, fmt.Errorf("tracefile: corrupt footer: bad name length")
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(fr, name); err != nil {
+		return nil, fmt.Errorf("tracefile: corrupt footer: %w", err)
+	}
+	threads, err := binary.ReadUvarint(fr)
+	if err != nil || threads == 0 || threads > 1<<20 {
+		return nil, fmt.Errorf("tracefile: corrupt footer: bad thread count")
+	}
+	regions, err := binary.ReadUvarint(fr)
+	if err != nil || regions > 1<<40 {
+		return nil, fmt.Errorf("tracefile: corrupt footer: bad region count")
+	}
+	flags, err := fr.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("tracefile: corrupt footer: %w", err)
+	}
+
+	nchunks := regions * threads
+	if nchunks > uint64(len(footer)) { // each length takes >= 1 footer byte
+		return nil, fmt.Errorf("tracefile: corrupt footer: %d chunks exceed footer size", nchunks)
+	}
+	offs := make([]int64, nchunks+1)
+	offs[0] = magicLen
+	for i := uint64(0); i < nchunks; i++ {
+		n, err := binary.ReadUvarint(fr)
+		if err != nil {
+			return nil, fmt.Errorf("tracefile: corrupt footer: chunk %d length: %w", i, err)
+		}
+		offs[i+1] = offs[i] + int64(n)
+		if offs[i+1] < offs[i] || offs[i+1] > footerOff {
+			return nil, fmt.Errorf("tracefile: corrupt footer: chunk %d overruns footer", i)
+		}
+	}
+	if offs[nchunks] != footerOff {
+		return nil, fmt.Errorf("tracefile: corrupt footer: chunks end at %d, footer starts at %d", offs[nchunks], footerOff)
+	}
+	return &File{
+		ra:      ra,
+		name:    string(name),
+		threads: int(threads),
+		regions: int(regions),
+		gzip:    flags&flagGzip != 0,
+		offs:    offs,
+	}, nil
+}
+
+// Close releases the underlying file handle (if Open created one). Streams
+// obtained from the File must not be used after Close.
+func (f *File) Close() error {
+	if f.closer == nil {
+		return nil
+	}
+	err := f.closer.Close()
+	f.closer = nil
+	return err
+}
+
+// Name implements trace.Program.
+func (f *File) Name() string { return f.name }
+
+// Threads implements trace.Program.
+func (f *File) Threads() int { return f.threads }
+
+// Regions implements trace.Program.
+func (f *File) Regions() int { return f.regions }
+
+// Gzipped reports whether chunks are gzip-compressed.
+func (f *File) Gzipped() bool { return f.gzip }
+
+// Region implements trace.Program. The returned Region reads its chunks
+// lazily; materializing it costs no trace decoding.
+func (f *File) Region(i int) trace.Region {
+	if i < 0 || i >= f.regions {
+		panic(fmt.Sprintf("tracefile: region %d out of range [0,%d)", i, f.regions))
+	}
+	return &fileRegion{f: f, idx: i}
+}
+
+// chunk returns a reader over the decoded bytes of chunk (region, tid).
+func (f *File) chunk(region, tid int) (io.Reader, error) {
+	i := region*f.threads + tid
+	sec := io.NewSectionReader(f.ra, f.offs[i], f.offs[i+1]-f.offs[i])
+	if !f.gzip {
+		return sec, nil
+	}
+	zr, err := gzip.NewReader(bufio.NewReader(sec))
+	if err != nil {
+		return nil, fmt.Errorf("tracefile: region %d thread %d: %w", region, tid, err)
+	}
+	return zr, nil
+}
+
+// Verify fully decodes every chunk, checking the encoding end to end.
+// Replay itself never requires this; it exists for integrity checks
+// (bptool info -verify) and tests.
+func (f *File) Verify() error {
+	var be trace.BlockExec
+	for r := 0; r < f.regions; r++ {
+		for t := 0; t < f.threads; t++ {
+			s, err := f.stream(r, t)
+			if err != nil {
+				return err
+			}
+			for s.Next(&be) {
+			}
+			if err := s.Err(); err != nil {
+				return fmt.Errorf("tracefile: region %d thread %d: %w", r, t, err)
+			}
+		}
+	}
+	return nil
+}
+
+func (f *File) stream(region, tid int) (*chunkStream, error) {
+	r, err := f.chunk(region, tid)
+	if err != nil {
+		return nil, err
+	}
+	return newChunkStream(r), nil
+}
+
+// fileRegion is one on-disk inter-barrier region.
+type fileRegion struct {
+	f   *File
+	idx int
+}
+
+// Thread implements trace.Region. Each call opens a fresh stream over the
+// thread's chunk; a failure to even open the chunk (corrupt gzip header)
+// yields an empty stream whose Err reports the cause.
+func (r *fileRegion) Thread(tid int) trace.Stream {
+	if tid < 0 || tid >= r.f.threads {
+		panic(fmt.Sprintf("tracefile: thread %d out of range [0,%d)", tid, r.f.threads))
+	}
+	s, err := r.f.stream(r.idx, tid)
+	if err != nil {
+		return &chunkStream{err: err, done: true}
+	}
+	return s
+}
+
+var (
+	_ trace.Program = (*File)(nil)
+	_ trace.Region  = (*fileRegion)(nil)
+)

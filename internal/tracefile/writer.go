@@ -1,0 +1,132 @@
+package tracefile
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"barrierpoint/internal/trace"
+)
+
+// Options configures recording.
+type Options struct {
+	// Gzip compresses every chunk independently. Files shrink by roughly
+	// the entropy of the access patterns; random access is preserved
+	// because no chunk depends on another.
+	Gzip bool
+}
+
+// Option mutates recording Options.
+type Option func(*Options)
+
+// WithGzip enables or disables per-chunk gzip compression.
+func WithGzip(on bool) Option {
+	return func(o *Options) { o.Gzip = on }
+}
+
+// Record writes p to w in the binary trace format (see doc.go). It is a
+// single forward pass: every region's thread streams are drained in order,
+// so w never needs to seek and memory stays O(largest chunk encoding).
+func Record(w io.Writer, p trace.Program, opts ...Option) error {
+	var o Options
+	for _, f := range opts {
+		f(&o)
+	}
+	threads, regions := p.Threads(), p.Regions()
+	if threads <= 0 {
+		return fmt.Errorf("tracefile: program %q has %d threads", p.Name(), threads)
+	}
+
+	if _, err := io.WriteString(w, magic); err != nil {
+		return fmt.Errorf("tracefile: writing header: %w", err)
+	}
+	offset := int64(magicLen)
+
+	lengths := make([]uint64, 0, regions*threads)
+	var raw []byte // reused chunk encoding buffer
+	var zbuf bytes.Buffer
+	var zw *gzip.Writer
+	if o.Gzip {
+		zw = gzip.NewWriter(&zbuf)
+	}
+	for r := 0; r < regions; r++ {
+		region := p.Region(r)
+		for t := 0; t < threads; t++ {
+			var err error
+			raw, err = encodeChunk(raw[:0], region.Thread(t))
+			if err != nil {
+				return fmt.Errorf("tracefile: encoding region %d thread %d: %w", r, t, err)
+			}
+			chunk := raw
+			if o.Gzip {
+				zbuf.Reset()
+				zw.Reset(&zbuf)
+				if _, err := zw.Write(raw); err != nil {
+					return fmt.Errorf("tracefile: compressing region %d thread %d: %w", r, t, err)
+				}
+				if err := zw.Close(); err != nil {
+					return fmt.Errorf("tracefile: compressing region %d thread %d: %w", r, t, err)
+				}
+				chunk = zbuf.Bytes()
+			}
+			if _, err := w.Write(chunk); err != nil {
+				return fmt.Errorf("tracefile: writing region %d thread %d: %w", r, t, err)
+			}
+			lengths = append(lengths, uint64(len(chunk)))
+			offset += int64(len(chunk))
+		}
+	}
+
+	// Trailing index: footer, its offset, and the trailer magic.
+	footer := binary.AppendUvarint(nil, uint64(len(p.Name())))
+	footer = append(footer, p.Name()...)
+	footer = binary.AppendUvarint(footer, uint64(threads))
+	footer = binary.AppendUvarint(footer, uint64(regions))
+	var flags byte
+	if o.Gzip {
+		flags |= flagGzip
+	}
+	footer = append(footer, flags)
+	for _, n := range lengths {
+		footer = binary.AppendUvarint(footer, n)
+	}
+	if _, err := w.Write(footer); err != nil {
+		return fmt.Errorf("tracefile: writing footer: %w", err)
+	}
+	var tail [tailLen]byte
+	binary.LittleEndian.PutUint64(tail[:8], uint64(offset))
+	copy(tail[8:], trailerMagic)
+	if _, err := w.Write(tail[:]); err != nil {
+		return fmt.Errorf("tracefile: writing trailer: %w", err)
+	}
+	return nil
+}
+
+// RecordFile records p into a new file at path, replacing any existing
+// file. On error the partial file is removed.
+func RecordFile(path string, p trace.Program, opts ...Option) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("tracefile: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	if err := Record(bw, p, opts...); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	if err := bw.Flush(); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		os.Remove(path)
+		return fmt.Errorf("tracefile: %w", err)
+	}
+	return nil
+}

@@ -80,6 +80,13 @@ func Names() []string {
 	return ns
 }
 
+// Exists reports whether name is a constructible benchmark, including the
+// extended workloads that Names omits.
+func Exists(name string) bool {
+	_, ok := registry[name]
+	return ok
+}
+
 // New constructs the named benchmark for the given thread count.
 // It panics on unknown names; use Names for the valid set.
 func New(name string, threads int, opts ...Option) *Program {

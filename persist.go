@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"barrierpoint/internal/tracefile"
 )
 
 // SavedSelection is the serializable form of a barrierpoint selection: the
@@ -85,4 +87,32 @@ func (s *SavedSelection) Bind(p Program) (*Analysis, error) {
 	}
 	sel.RegionWeights = weights
 	return &Analysis{Program: p, Config: DefaultConfig(), Profiles: nil, Selection: sel}, nil
+}
+
+// Trace persistence: alongside saved selections, whole program traces can
+// be recorded to disk and replayed later. A recorded trace is the durable
+// input artifact (the Fig. 2 "application" box); a saved selection is the
+// durable analysis artifact. Together they make every downstream step —
+// profiling, warmup capture, detailed simulation — runnable out of process
+// and long after the workload generator is gone.
+
+// SaveTrace records p into a binary trace file at path (see
+// internal/tracefile for the format). The trace captures the exact dynamic
+// block and access streams of every inter-barrier region, so replaying it
+// reproduces signatures, selections and simulation results bit-for-bit.
+func SaveTrace(path string, p Program, opts ...TraceOption) error {
+	return tracefile.RecordFile(path, p, opts...)
+}
+
+// RecordTrace streams p into w in the binary trace format. It is a single
+// forward pass and never seeks.
+func RecordTrace(w io.Writer, p Program, opts ...TraceOption) error {
+	return tracefile.Record(w, p, opts...)
+}
+
+// OpenTrace opens a recorded trace for replay. The returned file is a
+// Program whose regions stream straight off disk with O(region) memory;
+// close it when done.
+func OpenTrace(path string) (*TraceFile, error) {
+	return tracefile.Open(path)
 }
