@@ -25,6 +25,15 @@
 // record/replay path for analyzing traces captured elsewhere — see
 // internal/tracefile for the file format and cmd/bptool's record and info
 // subcommands for the CLI.
+//
+// Because the analysis is a pure function of the trace bytes, its outputs
+// cache by content: TraceKey addresses a recorded trace by the SHA-256 of
+// its file, and the analysis service (internal/store, internal/service,
+// cmd/bpserve, bptool -cache) files selections and estimates under that
+// key plus a hash of every parameter they depend on — analysis config for
+// selections, machine config and warmup mode for estimates. Repeat
+// analyses of byte-identical traces are cache hits that never re-profile;
+// the paper's "one-time cost" (Fig. 2) is paid once per trace content.
 package barrierpoint
 
 import (
@@ -286,32 +295,44 @@ func (a *Analysis) SimulatePoints(mc MachineConfig, mode WarmupMode) (map[int]Re
 		snaps = warmup.Capture(a.Program, regions, capacity)
 	}
 
+	// Bounded worker pool: at most GOMAXPROCS goroutines drain a shared
+	// queue of barrierpoints, rather than spawning one goroutine per point
+	// gated by a semaphore — large selections would otherwise park
+	// thousands of goroutines on the semaphore and churn the scheduler.
 	out := make(map[int]RegionResult, len(regions))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(regions) {
+		workers = len(regions)
+	}
+	next := make(chan int, len(regions))
 	for _, r := range regions {
+		next <- r
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(r int) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			m := sim.New(mc)
-			if mode == MRUWarmup || mode == MRUPrevWarmup {
-				warmup.Replay(m, snaps[r])
-			}
-			if mode == MRUPrevWarmup {
-				for q := r - prevWarmupWindow; q < r; q++ {
-					if q >= 0 {
-						m.WarmRegion(a.Program.Region(q))
+			for r := range next {
+				m := sim.New(mc)
+				if mode == MRUWarmup || mode == MRUPrevWarmup {
+					warmup.Replay(m, snaps[r])
+				}
+				if mode == MRUPrevWarmup {
+					for q := r - prevWarmupWindow; q < r; q++ {
+						if q >= 0 {
+							m.WarmRegion(a.Program.Region(q))
+						}
 					}
 				}
+				res := m.RunRegion(a.Program.Region(r))
+				mu.Lock()
+				out[r] = res
+				mu.Unlock()
 			}
-			res := m.RunRegion(a.Program.Region(r))
-			mu.Lock()
-			out[r] = res
-			mu.Unlock()
-		}(r)
+		}()
 	}
 	wg.Wait()
 	return out, nil

@@ -8,10 +8,13 @@
 package barrierpoint_test
 
 import (
+	"path/filepath"
 	"testing"
 
 	bp "barrierpoint"
 	"barrierpoint/internal/experiments"
+	"barrierpoint/internal/service"
+	"barrierpoint/internal/store"
 	"barrierpoint/internal/workload"
 )
 
@@ -134,6 +137,63 @@ func BenchmarkProfiling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := bp.Analyze(prog, bp.DefaultConfig()); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// newBenchStore files a recorded npb-ft trace in a fresh content-addressed
+// store, returning the store and the trace's key.
+func newBenchStore(b *testing.B) (*store.Store, string) {
+	b.Helper()
+	dir := b.TempDir()
+	st, err := store.Open(filepath.Join(dir, "store"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(dir, "ft.bptrace")
+	prog := workload.New("npb-ft", 8, workload.WithScale(benchScale))
+	if err := bp.SaveTrace(path, prog); err != nil {
+		b.Fatal(err)
+	}
+	key, _, err := st.ImportTrace(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st, key
+}
+
+// BenchmarkAnalyzeColdStore measures analyze throughput through the store
+// with the selection artifact invalidated every iteration: the full
+// profile+cluster cost plus artifact write. Compare to
+// BenchmarkAnalyzeCachedStore for the cache's speedup.
+func BenchmarkAnalyzeColdStore(b *testing.B) {
+	st, key := newBenchStore(b)
+	cfg := bp.DefaultConfig()
+	name := service.SelectionArtifact(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.RemoveArtifact(key, name); err != nil {
+			b.Fatal(err)
+		}
+		if _, cached, err := service.AnalyzeCached(st, key, cfg); err != nil || cached {
+			b.Fatalf("cold analyze: cached=%v err=%v", cached, err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeCachedStore measures the repeat-request path: every
+// iteration is a store hit that returns the selection without opening the
+// trace or profiling.
+func BenchmarkAnalyzeCachedStore(b *testing.B) {
+	st, key := newBenchStore(b)
+	cfg := bp.DefaultConfig()
+	if _, _, err := service.AnalyzeCached(st, key, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, cached, err := service.AnalyzeCached(st, key, cfg); err != nil || !cached {
+			b.Fatalf("cached analyze: cached=%v err=%v", cached, err)
 		}
 	}
 }

@@ -1,0 +1,353 @@
+// Command bpserve is the BarrierPoint analysis service: an HTTP/JSON API
+// over a content-addressed trace store (internal/store) and an async job
+// manager (internal/service). Clients upload recorded traces once, then
+// submit analyze/simulate/estimate jobs; identical work is deduplicated in
+// flight and every result is cached by content, so the paper's "one-time
+// cost" analysis (Fig. 2) is paid once per trace regardless of how many
+// machine configurations are later estimated.
+//
+// Usage:
+//
+//	bpserve -addr :8080 -store /var/lib/bpserve
+//
+// API:
+//
+//	POST /v1/traces            upload a .bptrace body → trace metadata
+//	GET  /v1/traces            list stored trace keys
+//	GET  /v1/traces/{key}      metadata + cached artifact names
+//	GET  /v1/selections/{key}  cached selection (404 until analyzed);
+//	                           ?signature=bbv|reuse_dist|combine
+//	POST /v1/jobs              submit {"kind","trace","sockets","warmup",
+//	                           "signature"} → job snapshot (202)
+//	GET  /v1/jobs              list jobs
+//	GET  /v1/jobs/{id}         job status; result embedded when done
+//	GET  /healthz              liveness + store/queue counters
+//	GET  /debug/vars           expvar-style metrics
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"barrierpoint/internal/service"
+	"barrierpoint/internal/store"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "bpserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the server and blocks until SIGINT/SIGTERM, then drains.
+func run(args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bpserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", ":8080", "listen address")
+		storeDir = fs.String("store", "bpstore", "content-addressed store directory")
+		workers  = fs.Int("workers", 0, "job worker goroutines (0 = GOMAXPROCS)")
+		depth    = fs.Int("queue", 0, "job queue depth (0 = default)")
+		maxMB    = fs.Int64("max-upload-mb", 1024, "largest accepted trace upload, MiB")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+
+	st, err := store.Open(*storeDir)
+	if err != nil {
+		return err
+	}
+	mgr := service.New(st, *workers, *depth)
+	srv := newServer(st, mgr)
+	srv.maxUpload = *maxMB << 20
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(stderr, "bpserve: serving on %s (store %s)\n", *addr, *storeDir)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	// Graceful drain: stop accepting connections, then let queued and
+	// running jobs finish.
+	fmt.Fprintln(stderr, "bpserve: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	return mgr.Shutdown(shutCtx)
+}
+
+// server routes the HTTP API. It is an http.Handler; construction wires a
+// fresh (unregistered) expvar map so tests can build many servers without
+// colliding in expvar's process-global registry.
+type server struct {
+	st        *store.Store
+	mgr       *service.Manager
+	mux       *http.ServeMux
+	started   time.Time
+	maxUpload int64 // largest accepted trace body, bytes
+	uploads   expvar.Int
+	vars      expvar.Map
+}
+
+func newServer(st *store.Store, mgr *service.Manager) *server {
+	s := &server{st: st, mgr: mgr, mux: http.NewServeMux(), started: time.Now(), maxUpload: 1 << 30}
+	s.vars.Init()
+	s.vars.Set("trace_uploads", &s.uploads)
+	s.vars.Set("uptime_seconds", expvar.Func(func() any {
+		return time.Since(s.started).Seconds()
+	}))
+	s.vars.Set("traces_stored", expvar.Func(func() any {
+		keys, err := s.st.Traces()
+		if err != nil {
+			return -1
+		}
+		return len(keys)
+	}))
+	s.vars.Set("jobs", expvar.Func(func() any { return s.mgr.Stats() }))
+
+	s.mux.HandleFunc("POST /v1/traces", s.handleUpload)
+	s.mux.HandleFunc("GET /v1/traces", s.handleListTraces)
+	s.mux.HandleFunc("GET /v1/traces/{key}", s.handleGetTrace)
+	s.mux.HandleFunc("GET /v1/selections/{key}", s.handleGetSelection)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// writeJSON serializes v with an indent (responses are small and read by
+// humans and shell scripts alike).
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// jsonError is the uniform error payload.
+func jsonError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// traceMeta summarizes a stored trace.
+type traceMeta struct {
+	Key       string   `json:"key"`
+	Name      string   `json:"name"`
+	Threads   int      `json:"threads"`
+	Regions   int      `json:"regions"`
+	SizeBytes int64    `json:"size_bytes"`
+	Existed   bool     `json:"existed,omitempty"`
+	Artifacts []string `json:"artifacts,omitempty"`
+}
+
+// meta opens the stored trace and summarizes it.
+func (s *server) meta(key string) (traceMeta, error) {
+	f, err := s.st.OpenTrace(key)
+	if err != nil {
+		return traceMeta{}, err
+	}
+	defer f.Close()
+	p, err := s.st.TracePath(key)
+	if err != nil {
+		return traceMeta{}, err
+	}
+	fi, err := os.Stat(p)
+	if err != nil {
+		return traceMeta{}, err
+	}
+	return traceMeta{
+		Key:       key,
+		Name:      f.Name(),
+		Threads:   f.Threads(),
+		Regions:   f.Regions(),
+		SizeBytes: fi.Size(),
+	}, nil
+}
+
+// handleUpload stores the request body as a trace. The body is capped at
+// maxUpload bytes and must be a valid .bptrace; invalid or oversized
+// uploads are rejected and not stored.
+func (s *server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.maxUpload)
+	key, existed, err := s.st.PutTrace(body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			jsonError(w, http.StatusRequestEntityTooLarge, "trace exceeds the %d byte upload limit", tooBig.Limit)
+			return
+		}
+		jsonError(w, http.StatusInternalServerError, "storing trace: %v", err)
+		return
+	}
+	m, err := s.meta(key)
+	if err != nil {
+		// The bytes are not a readable trace. A pre-existing key means a
+		// valid trace already had this content, which is impossible for a
+		// newly-invalid body — so this only fires for fresh uploads.
+		if !existed {
+			s.st.RemoveTrace(key)
+		}
+		jsonError(w, http.StatusBadRequest, "invalid trace: %v", err)
+		return
+	}
+	m.Existed = existed
+	s.uploads.Add(1)
+	code := http.StatusCreated
+	if existed {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, m)
+}
+
+func (s *server) handleListTraces(w http.ResponseWriter, r *http.Request) {
+	keys, err := s.st.Traces()
+	if err != nil {
+		jsonError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if keys == nil {
+		keys = []string{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"traces": keys})
+}
+
+func (s *server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !s.st.HasTrace(key) {
+		jsonError(w, http.StatusNotFound, "trace %s not found", key)
+		return
+	}
+	m, err := s.meta(key)
+	if err != nil {
+		jsonError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if m.Artifacts, err = s.st.Artifacts(key); err != nil {
+		jsonError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+// handleGetSelection serves a cached selection without triggering
+// analysis; clients that want computation submit an analyze job.
+func (s *server) handleGetSelection(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !s.st.HasTrace(key) {
+		jsonError(w, http.StatusNotFound, "trace %s not found", key)
+		return
+	}
+	cfg, err := service.ParseSignature(r.URL.Query().Get("signature"))
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	b, err := service.CachedSelection(s.st, key, cfg)
+	if errors.Is(err, store.ErrNotFound) {
+		jsonError(w, http.StatusNotFound, "no cached selection for trace %s (submit an analyze job)", key)
+		return
+	}
+	if err != nil {
+		jsonError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req service.Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		jsonError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	snap, err := s.mgr.Submit(req)
+	switch {
+	case errors.Is(err, store.ErrNotFound):
+		jsonError(w, http.StatusNotFound, "%v", err)
+		return
+	case errors.Is(err, service.ErrBusy):
+		jsonError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case errors.Is(err, service.ErrClosed):
+		jsonError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, snap)
+}
+
+func (s *server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.mgr.Jobs()
+	if jobs == nil {
+		jobs = []service.Snapshot{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": jobs})
+}
+
+func (s *server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		jsonError(w, http.StatusNotFound, "job %s not found", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"stats":          s.mgr.Stats(),
+	})
+}
+
+// handleVars renders the server's private expvar map in the same format as
+// expvar's process-global /debug/vars handler.
+func (s *server) handleVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{")
+	first := true
+	s.vars.Do(func(kv expvar.KeyValue) {
+		if !first {
+			fmt.Fprintf(w, ",")
+		}
+		first = false
+		fmt.Fprintf(w, "\n%q: %s", kv.Key, kv.Value)
+	})
+	fmt.Fprintf(w, "\n}\n")
+}

@@ -13,9 +13,16 @@
 //	bptool info ft.bptrace
 //	bptool info -verify ft.bptrace
 //	bptool -trace ft.bptrace -skip-full
+//	bptool -trace ft.bptrace -cache /var/lib/bpstore -skip-full
+//
+// With -cache, analysis artifacts live in a content-addressed store shared
+// with the bpserve service: the first analyze of a trace profiles and
+// clusters it, every later analyze of byte-identical content reuses the
+// cached selection.
 package main
 
 import (
+	"bytes"
 	"errors"
 	"flag"
 	"fmt"
@@ -25,7 +32,9 @@ import (
 
 	bp "barrierpoint"
 	"barrierpoint/internal/report"
+	"barrierpoint/internal/service"
 	"barrierpoint/internal/stats"
+	"barrierpoint/internal/store"
 	"barrierpoint/internal/trace"
 	"barrierpoint/internal/workload"
 )
@@ -179,6 +188,52 @@ func runInfo(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
+// cachedAnalysis runs the analyze stage through a content-addressed store
+// shared with bpserve: the trace is filed under its content key (in-memory
+// workloads are recorded first), and the selection is served from the store
+// when already cached — profiling and clustering are skipped entirely. The
+// returned program replays from the store's copy of the trace, so later
+// stages stream exactly the bytes the key addresses.
+func cachedAnalysis(st *store.Store, prog bp.Program, tracePath string) (*bp.Analysis, bp.Program, string, error) {
+	var key string
+	var err error
+	if tracePath != "" {
+		key, _, err = st.ImportTrace(tracePath)
+	} else {
+		// Stream the recording straight into the store: the bytes are
+		// written once, and PutTrace discards them again if byte-identical
+		// content is already filed.
+		pr, pw := io.Pipe()
+		go func() { pw.CloseWithError(bp.RecordTrace(pw, prog)) }()
+		key, _, err = st.PutTrace(pr)
+	}
+	if err != nil {
+		return nil, nil, "", err
+	}
+	selBytes, cached, err := service.AnalyzeCached(st, key, bp.DefaultConfig())
+	if err != nil {
+		return nil, nil, "", err
+	}
+	sel, err := bp.LoadSelection(bytes.NewReader(selBytes))
+	if err != nil {
+		return nil, nil, "", err
+	}
+	f, err := st.OpenTrace(key)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	a, err := sel.Bind(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, "", err
+	}
+	note := ", selection computed and cached"
+	if cached {
+		note = ", selection reused from cache"
+	}
+	return a, f, fmt.Sprintf("%s, trace %s", note, key[:12]), nil
+}
+
 // runAnalyze is the classic pipeline: analyze, estimate, and (optionally)
 // validate against a full simulation — from a built-in workload or from a
 // recorded trace file.
@@ -190,6 +245,7 @@ func runAnalyze(args []string, stdout, stderr io.Writer) error {
 		cores     = fs.Int("cores", 8, "thread/core count (8 or 32 for Table I machines)")
 		scale     = fs.Float64("scale", 1.0, "workload scale factor")
 		tracePath = fs.String("trace", "", "analyze a recorded trace file instead of a built-in workload")
+		cacheDir  = fs.String("cache", "", "content-addressed store directory: cache and reuse analysis artifacts (shared with bpserve)")
 		warmupFl  = fs.String("warmup", "mru+prev", "warmup mode: cold, mru, mru+prev")
 		skipFull  = fs.Bool("skip-full", false, "skip the ground-truth simulation (no error report)")
 		list      = fs.Bool("list", false, "list available workloads and exit")
@@ -205,16 +261,11 @@ func runAnalyze(args []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 
-	var mode bp.WarmupMode
-	switch *warmupFl {
-	case "cold":
-		mode = bp.ColdWarmup
-	case "mru":
-		mode = bp.MRUWarmup
-	case "mru+prev":
-		mode = bp.MRUPrevWarmup
-	default:
-		return fmt.Errorf("unknown warmup mode %q", *warmupFl)
+	// One parser serves CLI and server, so both accept the same warmup
+	// vocabulary over the shared store.
+	mode, err := service.ParseWarmup(*warmupFl)
+	if err != nil {
+		return err
 	}
 
 	var prog bp.Program
@@ -240,13 +291,30 @@ func runAnalyze(args []string, stdout, stderr io.Writer) error {
 	mc := bp.TableIMachine(prog.Threads() / 8)
 
 	start := time.Now()
-	analysis, err := bp.Analyze(prog, bp.DefaultConfig())
-	if err != nil {
-		return err
+	var analysis *bp.Analysis
+	var note string
+	if *cacheDir != "" {
+		st, err := store.Open(*cacheDir)
+		if err != nil {
+			return err
+		}
+		analysis, prog, note, err = cachedAnalysis(st, prog, *tracePath)
+		if err != nil {
+			return err
+		}
+		if closer, ok := prog.(interface{ Close() error }); ok {
+			defer closer.Close()
+		}
+	} else {
+		var err error
+		analysis, err = bp.Analyze(prog, bp.DefaultConfig())
+		if err != nil {
+			return err
+		}
 	}
-	fmt.Fprintf(stdout, "%s, %d threads: %d regions, %d barrierpoints (analysis in %v)\n\n",
+	fmt.Fprintf(stdout, "%s, %d threads: %d regions, %d barrierpoints (analysis in %v%s)\n\n",
 		prog.Name(), prog.Threads(), prog.Regions(), len(analysis.BarrierPoints()),
-		time.Since(start).Round(time.Millisecond))
+		time.Since(start).Round(time.Millisecond), note)
 
 	t := report.NewTable("Selected barrierpoints", "region", "multiplier", "weight")
 	for _, p := range analysis.BarrierPoints() {

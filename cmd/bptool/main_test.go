@@ -90,6 +90,33 @@ func TestAnalyzeWorkloadDirect(t *testing.T) {
 	}
 }
 
+// TestAnalyzeWithCache drives the -cache flag twice over one recording:
+// the first run computes and caches the selection, the second must reuse
+// it from the store (the artifact layer shared with bpserve).
+func TestAnalyzeWithCache(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "is.bptrace")
+	cacheDir := filepath.Join(dir, "store")
+	exec(t, "record", "-workload", "npb-is", "-cores", "8", "-scale", "0.05", "-o", tracePath)
+
+	out := exec(t, "-trace", tracePath, "-cache", cacheDir, "-warmup", "cold", "-skip-full")
+	if !strings.Contains(out, "selection computed and cached") {
+		t.Errorf("first cached run output unexpected:\n%s", out)
+	}
+
+	out = exec(t, "-trace", tracePath, "-cache", cacheDir, "-warmup", "cold", "-skip-full")
+	if !strings.Contains(out, "selection reused from cache") {
+		t.Errorf("second cached run did not hit the store:\n%s", out)
+	}
+
+	// A built-in workload routes through the same store: identical content
+	// recorded again lands on the same key and reuses the selection.
+	out = exec(t, "-workload", "npb-is", "-cores", "8", "-scale", "0.05", "-cache", cacheDir, "-warmup", "cold", "-skip-full")
+	if !strings.Contains(out, "selection reused from cache") {
+		t.Errorf("workload run did not hit the cache of its identical recording:\n%s", out)
+	}
+}
+
 func TestHelpIsNotAnError(t *testing.T) {
 	for _, args := range [][]string{{"-h"}, {"record", "-h"}, {"info", "-h"}} {
 		var out, errOut strings.Builder

@@ -1,0 +1,479 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	bp "barrierpoint"
+	"barrierpoint/internal/store"
+)
+
+// Kind is a job type.
+type Kind string
+
+// Job kinds: the three expensive pipeline stages a client can request.
+const (
+	// KindAnalyze profiles and clusters a trace, producing its selection.
+	KindAnalyze Kind = "analyze"
+	// KindSimulate runs the ground-truth full detailed simulation.
+	KindSimulate Kind = "simulate"
+	// KindEstimate simulates only the barrierpoints (analyzing first if no
+	// selection is cached) and reconstructs whole-program metrics.
+	KindEstimate Kind = "estimate"
+)
+
+// Status is a job lifecycle state.
+type Status string
+
+// Job states, in order.
+const (
+	StatusQueued  Status = "queued"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// Request describes a job to run against a stored trace.
+type Request struct {
+	Kind  Kind   `json:"kind"`
+	Trace string `json:"trace"` // content key of a stored trace
+	// Signature selects the analysis config: "bbv", "reuse_dist" or
+	// "combine" (default).
+	Signature string `json:"signature,omitempty"`
+	// Sockets sizes the Table I machine for simulate/estimate; 0 derives
+	// it from the trace's thread count.
+	Sockets int `json:"sockets,omitempty"`
+	// Warmup is the estimate warmup mode: "cold" (default), "mru" or
+	// "mru+prev".
+	Warmup string `json:"warmup,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of a job's state, safe to serialize.
+type Snapshot struct {
+	ID      string  `json:"id"`
+	Request Request `json:"request"`
+	Status  Status  `json:"status"`
+	Error   string  `json:"error,omitempty"`
+	// Cached reports that the job's result came from the store without
+	// recomputation.
+	Cached   bool            `json:"cached"`
+	Result   json.RawMessage `json:"result,omitempty"`
+	Created  time.Time       `json:"created"`
+	Started  time.Time       `json:"started,omitzero"`
+	Finished time.Time       `json:"finished,omitzero"`
+}
+
+// Terminal reports whether the job has finished (successfully or not).
+func (s Snapshot) Terminal() bool { return s.Status == StatusDone || s.Status == StatusFailed }
+
+// Stats counts manager activity since construction.
+type Stats struct {
+	Submitted    int64 `json:"jobs_submitted"`
+	Deduped      int64 `json:"jobs_deduped"`
+	Done         int64 `json:"jobs_done"`
+	Failed       int64 `json:"jobs_failed"`
+	CacheHits    int64 `json:"cache_hits"`
+	ColdAnalyses int64 `json:"cold_analyses"`
+}
+
+// Errors returned by Submit.
+var (
+	ErrClosed = errors.New("service: manager is shut down")
+	ErrBusy   = errors.New("service: job queue is full")
+)
+
+type job struct {
+	id                         string
+	req                        Request
+	dedup                      string
+	cfg                        bp.Config
+	mode                       bp.WarmupMode
+	status                     Status
+	err                        string
+	cached                     bool
+	result                     json.RawMessage
+	created, started, finished time.Time
+	done                       chan struct{}
+}
+
+// maxRetained bounds the finished jobs kept for status polling: once
+// exceeded, the oldest terminal jobs (and their result payloads) are
+// dropped. In-flight jobs are never dropped, so a long-running server's
+// memory stays proportional to its queue, not its history.
+const maxRetained = 1024
+
+// Manager runs jobs asynchronously on a bounded worker pool over one
+// store. Identical requests (same kind, trace and parameters) submitted
+// while one is queued or running coalesce onto a single job, and the
+// profiling stage itself is additionally single-flight per (trace,
+// analysis config) across job kinds (see AnalyzeCached) — combined with
+// the store's artifact cache, every expensive stage runs at most once per
+// (trace, parameters).
+type Manager struct {
+	st    *store.Store
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string
+	inflight map[string]*job // dedup key → queued or running job
+	seq      int
+	closed   bool
+
+	submitted, deduped, done, failed, cacheHits, coldAnalyses atomic.Int64
+}
+
+// New starts a manager with the given worker count (GOMAXPROCS if <= 0)
+// and queue depth (256 if <= 0).
+func New(st *store.Store, workers, depth int) *Manager {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if depth <= 0 {
+		depth = 256
+	}
+	m := &Manager{
+		st:       st,
+		queue:    make(chan *job, depth),
+		jobs:     make(map[string]*job),
+		inflight: make(map[string]*job),
+	}
+	for i := 0; i < workers; i++ {
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			for j := range m.queue {
+				m.run(j)
+			}
+		}()
+	}
+	return m
+}
+
+// Store returns the manager's artifact store.
+func (m *Manager) Store() *store.Store { return m.st }
+
+// Stats returns activity counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Submitted:    m.submitted.Load(),
+		Deduped:      m.deduped.Load(),
+		Done:         m.done.Load(),
+		Failed:       m.failed.Load(),
+		CacheHits:    m.cacheHits.Load(),
+		ColdAnalyses: m.coldAnalyses.Load(),
+	}
+}
+
+// validate parses and normalizes a request, returning the analysis config,
+// warmup mode and the job's deduplication key. The key covers exactly the
+// parameters the kind consumes — an analyze ignores warmup and sockets, a
+// simulate ignores warmup and the analysis config, and sockets are
+// normalized against the trace's thread count — so requests that differ
+// only in irrelevant or equivalent fields coalesce onto one job.
+func (m *Manager) validate(req Request) (bp.Config, bp.WarmupMode, string, error) {
+	if !m.st.HasTrace(req.Trace) {
+		return bp.Config{}, 0, "", fmt.Errorf("service: trace %q: %w", req.Trace, store.ErrNotFound)
+	}
+	cfg, err := ParseSignature(req.Signature)
+	if err != nil {
+		return bp.Config{}, 0, "", err
+	}
+	mode, err := ParseWarmup(req.Warmup)
+	if err != nil {
+		return bp.Config{}, 0, "", err
+	}
+	var dedup string
+	switch req.Kind {
+	case KindAnalyze:
+		dedup = fmt.Sprintf("%s|%s|%s", req.Kind, req.Trace, hashJSON(cfg))
+	case KindSimulate, KindEstimate:
+		f, err := m.st.OpenTrace(req.Trace)
+		if err != nil {
+			return bp.Config{}, 0, "", err
+		}
+		threads := f.Threads()
+		f.Close()
+		mc, err := MachineFor(threads, req.Sockets)
+		if err != nil {
+			return bp.Config{}, 0, "", err
+		}
+		if req.Kind == KindSimulate {
+			dedup = fmt.Sprintf("%s|%s|%d", req.Kind, req.Trace, mc.Sockets)
+		} else {
+			dedup = fmt.Sprintf("%s|%s|%s|%d|%s", req.Kind, req.Trace, hashJSON(cfg), mc.Sockets, mode)
+		}
+	default:
+		return bp.Config{}, 0, "", fmt.Errorf("service: unknown job kind %q", req.Kind)
+	}
+	return cfg, mode, dedup, nil
+}
+
+// Submit queues a job, or returns the in-flight job already running the
+// identical request. The returned snapshot has at least StatusQueued.
+func (m *Manager) Submit(req Request) (Snapshot, error) {
+	cfg, mode, dedup, err := m.validate(req)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return Snapshot{}, ErrClosed
+	}
+	if j, ok := m.inflight[dedup]; ok {
+		m.deduped.Add(1)
+		return m.snapshotLocked(j), nil
+	}
+	m.seq++
+	j := &job{
+		id:      fmt.Sprintf("job-%06d", m.seq),
+		req:     req,
+		dedup:   dedup,
+		cfg:     cfg,
+		mode:    mode,
+		status:  StatusQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	select {
+	case m.queue <- j:
+	default:
+		return Snapshot{}, ErrBusy
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.inflight[dedup] = j
+	m.submitted.Add(1)
+	return m.snapshotLocked(j), nil
+}
+
+// Get returns the current state of a job.
+func (m *Manager) Get(id string) (Snapshot, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Snapshot{}, false
+	}
+	return m.snapshotLocked(j), true
+}
+
+// Jobs lists all jobs in submission order.
+func (m *Manager) Jobs() []Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Snapshot, len(m.order))
+	for i, id := range m.order {
+		out[i] = m.snapshotLocked(m.jobs[id])
+	}
+	return out
+}
+
+// Wait blocks until the job reaches a terminal state or ctx is done.
+func (m *Manager) Wait(ctx context.Context, id string) (Snapshot, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return Snapshot{}, fmt.Errorf("service: unknown job %q", id)
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return Snapshot{}, ctx.Err()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.snapshotLocked(j), nil
+}
+
+// Shutdown stops accepting jobs, lets queued and running jobs finish, and
+// returns when the pool has drained or ctx expires.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+	drained := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// pruneLocked evicts the oldest terminal jobs past the retention bound;
+// m.mu must be held. Eviction skips over still-queued or running jobs.
+func (m *Manager) pruneLocked() {
+	excess := len(m.jobs) - maxRetained
+	if excess <= 0 {
+		return
+	}
+	kept := m.order[:0]
+	for _, id := range m.order {
+		j := m.jobs[id]
+		if excess > 0 && (j.status == StatusDone || j.status == StatusFailed) {
+			delete(m.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.order = kept
+}
+
+// snapshotLocked copies a job's state; m.mu must be held.
+func (m *Manager) snapshotLocked(j *job) Snapshot {
+	return Snapshot{
+		ID:       j.id,
+		Request:  j.req,
+		Status:   j.status,
+		Error:    j.err,
+		Cached:   j.cached,
+		Result:   j.result,
+		Created:  j.created,
+		Started:  j.started,
+		Finished: j.finished,
+	}
+}
+
+// run executes one job on a worker goroutine.
+func (m *Manager) run(j *job) {
+	m.mu.Lock()
+	j.status = StatusRunning
+	j.started = time.Now()
+	m.mu.Unlock()
+
+	result, cached, err := m.execute(j)
+
+	m.mu.Lock()
+	j.finished = time.Now()
+	j.cached = cached
+	if err != nil {
+		j.status = StatusFailed
+		j.err = err.Error()
+	} else {
+		j.status = StatusDone
+		j.result = result
+	}
+	delete(m.inflight, j.dedup)
+	m.pruneLocked()
+	m.mu.Unlock()
+	if err != nil {
+		m.failed.Add(1)
+	} else {
+		m.done.Add(1)
+	}
+	if cached {
+		m.cacheHits.Add(1)
+	}
+	close(j.done)
+}
+
+// execute dispatches on the job kind. The cached return value reports that
+// the job's own result artifact was already in the store.
+func (m *Manager) execute(j *job) (json.RawMessage, bool, error) {
+	switch j.req.Kind {
+	case KindAnalyze:
+		sel, cached, err := AnalyzeCached(m.st, j.req.Trace, j.cfg)
+		if err != nil {
+			return nil, false, err
+		}
+		if !cached {
+			m.coldAnalyses.Add(1)
+		}
+		return json.RawMessage(sel), cached, nil
+
+	case KindEstimate:
+		// One open serves machine sizing and simulation; only a cold
+		// selection miss inside AnalyzeCached opens the trace again.
+		f, err := m.st.OpenTrace(j.req.Trace)
+		if err != nil {
+			return nil, false, err
+		}
+		defer f.Close()
+		mc, err := MachineFor(f.Threads(), j.req.Sockets)
+		if err != nil {
+			return nil, false, err
+		}
+		name := EstimateArtifact(j.cfg, mc, j.mode)
+		if b, err := m.st.GetArtifact(j.req.Trace, name); err == nil {
+			return json.RawMessage(b), true, nil
+		} else if !errors.Is(err, store.ErrNotFound) {
+			return nil, false, err
+		}
+		selBytes, selCached, err := AnalyzeCached(m.st, j.req.Trace, j.cfg)
+		if err != nil {
+			return nil, false, err
+		}
+		if !selCached {
+			m.coldAnalyses.Add(1)
+		}
+		sel, err := bp.LoadSelection(bytes.NewReader(selBytes))
+		if err != nil {
+			return nil, false, err
+		}
+		a, err := sel.Bind(f)
+		if err != nil {
+			return nil, false, err
+		}
+		est, err := a.Estimate(mc, j.mode)
+		if err != nil {
+			return nil, false, err
+		}
+		return m.putResult(j.req.Trace, name, newEstimateResult(est, mc, j.mode.String()))
+
+	case KindSimulate:
+		f, err := m.st.OpenTrace(j.req.Trace)
+		if err != nil {
+			return nil, false, err
+		}
+		defer f.Close()
+		mc, err := MachineFor(f.Threads(), j.req.Sockets)
+		if err != nil {
+			return nil, false, err
+		}
+		name := ActualArtifact(mc)
+		if b, err := m.st.GetArtifact(j.req.Trace, name); err == nil {
+			return json.RawMessage(b), true, nil
+		} else if !errors.Is(err, store.ErrNotFound) {
+			return nil, false, err
+		}
+		full, err := bp.SimulateFull(f, mc)
+		if err != nil {
+			return nil, false, err
+		}
+		return m.putResult(j.req.Trace, name, newEstimateResult(bp.ActualFrom(full), mc, ""))
+
+	default:
+		return nil, false, fmt.Errorf("service: unknown job kind %q", j.req.Kind)
+	}
+}
+
+// putResult serializes, caches and returns a job result artifact.
+func (m *Manager) putResult(key, name string, v any) (json.RawMessage, bool, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, false, err
+	}
+	if err := m.st.PutArtifact(key, name, b); err != nil {
+		return nil, false, err
+	}
+	return json.RawMessage(b), false, nil
+}

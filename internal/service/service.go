@@ -1,0 +1,240 @@
+// Package service is the analysis service behind cmd/bpserve and cmd/bptool
+// -cache: cached single-flight access to the expensive BarrierPoint pipeline
+// stages over a content-addressed store (see internal/store), plus an async
+// job manager (see manager.go) that runs them on a bounded worker pool.
+//
+// # Cache keys
+//
+// Every artifact is keyed first by the trace's content key (SHA-256 of the
+// trace file) and then by a name encoding everything the artifact depends
+// on:
+//
+//	selection-<sig>-<cfgh>.json     barrierpoint selection; <sig> is the
+//	                                signature label (e.g. "combine"),
+//	                                <cfgh> hashes the full analysis config
+//	                                (signature options + clustering params)
+//	estimate-<mch>-<warmup>-<cfgh>.json
+//	                                reconstructed estimate; <mch> hashes
+//	                                the machine config, <warmup> is the
+//	                                warmup mode label
+//	actual-<mch>.json               ground-truth full-simulation metrics
+//
+// Hashes are the first 12 hex digits of the SHA-256 of the config's
+// canonical JSON, so any parameter change — clustering seed, cache sizes,
+// core count — lands on a distinct artifact, while repeat requests with
+// identical parameters always hit the cache.
+package service
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	bp "barrierpoint"
+	"barrierpoint/internal/store"
+)
+
+// analyzeFn is the profiling+clustering entry point. It is a variable so
+// tests can prove the cached path never re-profiles: the cache-hit test
+// swaps in a function that fails the test if invoked (bp.Analyze is the
+// only caller of profile.Program in this path).
+var analyzeFn = bp.Analyze
+
+// hashJSON returns the first 12 hex digits of the SHA-256 of v's canonical
+// JSON encoding. Configs here are flat structs of scalars, so encoding is
+// deterministic.
+func hashJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// All config types marshal; a failure is a programming error.
+		panic(fmt.Sprintf("service: marshaling config: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])[:12]
+}
+
+// SelectionArtifact names the cached selection artifact for an analysis
+// config.
+func SelectionArtifact(cfg bp.Config) string {
+	return fmt.Sprintf("selection-%s-%s.json", sanitize(cfg.Signature.Label()), hashJSON(cfg))
+}
+
+// EstimateArtifact names the cached estimate artifact for a machine,
+// warmup mode and analysis config.
+func EstimateArtifact(cfg bp.Config, mc bp.MachineConfig, mode bp.WarmupMode) string {
+	return fmt.Sprintf("estimate-%s-%s-%s.json", hashJSON(mc), sanitize(mode.String()), hashJSON(cfg))
+}
+
+// ActualArtifact names the cached ground-truth (full simulation) artifact
+// for a machine config.
+func ActualArtifact(mc bp.MachineConfig) string {
+	return fmt.Sprintf("actual-%s.json", hashJSON(mc))
+}
+
+// sanitize maps a label onto the store's artifact-name charset ("mru+prev"
+// → "mru-prev").
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '.', r == '_', r == '-':
+			return r
+		default:
+			return '-'
+		}
+	}, s)
+}
+
+// ParseWarmup parses a warmup mode label as printed by WarmupMode.String.
+func ParseWarmup(s string) (bp.WarmupMode, error) {
+	switch s {
+	case "", "cold":
+		return bp.ColdWarmup, nil
+	case "mru":
+		return bp.MRUWarmup, nil
+	case "mru+prev":
+		return bp.MRUPrevWarmup, nil
+	default:
+		return 0, fmt.Errorf("service: unknown warmup mode %q (want cold, mru or mru+prev)", s)
+	}
+}
+
+// ParseSignature maps a signature label ("bbv", "reuse_dist", "combine")
+// onto an analysis config; empty means the paper's default.
+func ParseSignature(s string) (bp.Config, error) {
+	cfg := bp.DefaultConfig()
+	switch s {
+	case "", "combine":
+		cfg.Signature.Kind = bp.Combined
+	case "bbv":
+		cfg.Signature.Kind = bp.BBVOnly
+	case "reuse_dist":
+		cfg.Signature.Kind = bp.LDVOnly
+	default:
+		return bp.Config{}, fmt.Errorf("service: unknown signature %q (want bbv, reuse_dist or combine)", s)
+	}
+	return cfg, nil
+}
+
+// CachedSelection returns the cached selection artifact for the trace and
+// config without computing anything: an error wrapping store.ErrNotFound
+// when the analysis has not run yet.
+func CachedSelection(st *store.Store, key string, cfg bp.Config) ([]byte, error) {
+	return st.GetArtifact(key, SelectionArtifact(cfg))
+}
+
+// analyzeFlights tracks in-flight selection computations so concurrent
+// callers — an analyze job racing an estimate job, or several estimate
+// jobs with different warmup modes over a fresh trace — profile each
+// (trace, config) at most once per process; late arrivals wait and then
+// read the artifact the first caller stored.
+var (
+	analyzeMu      sync.Mutex
+	analyzeFlights = make(map[string]chan struct{})
+)
+
+// AnalyzeCached returns the serialized barrierpoint selection for the
+// stored trace, analyzing and caching on miss. On a hit the bytes come
+// straight from the store — the trace is not opened and profiling does not
+// run — and cached is true. Computation is single-flight per (store,
+// trace, config) within the process. The returned bytes parse with
+// bp.LoadSelection.
+func AnalyzeCached(st *store.Store, key string, cfg bp.Config) (sel []byte, cached bool, err error) {
+	name := SelectionArtifact(cfg)
+	flightKey := st.Root() + "|" + key + "|" + name
+	for {
+		if b, err := st.GetArtifact(key, name); err == nil {
+			return b, true, nil
+		} else if !errors.Is(err, store.ErrNotFound) {
+			return nil, false, err
+		}
+		analyzeMu.Lock()
+		if ch, ok := analyzeFlights[flightKey]; ok {
+			analyzeMu.Unlock()
+			<-ch // someone is computing this selection; wait, then re-check
+			continue
+		}
+		ch := make(chan struct{})
+		analyzeFlights[flightKey] = ch
+		analyzeMu.Unlock()
+
+		sel, err := computeSelection(st, key, cfg, name)
+		analyzeMu.Lock()
+		delete(analyzeFlights, flightKey)
+		analyzeMu.Unlock()
+		close(ch)
+		return sel, false, err
+	}
+}
+
+// computeSelection runs the cold path: profile, cluster, serialize, cache.
+func computeSelection(st *store.Store, key string, cfg bp.Config, name string) ([]byte, error) {
+	f, err := st.OpenTrace(key)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	a, err := analyzeFn(f, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		return nil, err
+	}
+	if err := st.PutArtifact(key, name, buf.Bytes()); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// EstimateResult is the serialized form of a whole-program estimate, used
+// both as the cached artifact and as the job result payload.
+type EstimateResult struct {
+	TimeNs   float64 `json:"time_ns"`
+	Cycles   float64 `json:"cycles"`
+	Instrs   float64 `json:"instrs"`
+	DRAMAccs float64 `json:"dram_accs"`
+	IPC      float64 `json:"ipc"`
+	DRAMAPKI float64 `json:"dram_apki"`
+	Warmup   string  `json:"warmup,omitempty"` // empty for ground truth
+	Cores    int     `json:"cores"`
+	Sockets  int     `json:"sockets"`
+}
+
+// newEstimateResult flattens a bp.Estimate with its derived metrics.
+func newEstimateResult(e bp.Estimate, mc bp.MachineConfig, warmup string) EstimateResult {
+	return EstimateResult{
+		TimeNs:   e.TimeNs,
+		Cycles:   e.Cycles,
+		Instrs:   e.Instrs,
+		DRAMAccs: e.DRAMAccs,
+		IPC:      e.IPC(),
+		DRAMAPKI: e.DRAMAPKI(),
+		Warmup:   warmup,
+		Cores:    mc.Cores(),
+		Sockets:  mc.Sockets,
+	}
+}
+
+// MachineFor sizes a Table I machine for a trace with the given thread
+// count: sockets as given, or derived from the threads when 0. It
+// validates that the machine's core count matches the trace.
+func MachineFor(threads, sockets int) (bp.MachineConfig, error) {
+	if sockets == 0 {
+		if threads%8 != 0 {
+			return bp.MachineConfig{}, fmt.Errorf("service: trace has %d threads, not a multiple of 8", threads)
+		}
+		sockets = threads / 8
+	}
+	mc := bp.TableIMachine(sockets)
+	if mc.Cores() != threads {
+		return bp.MachineConfig{}, fmt.Errorf("service: machine with %d sockets has %d cores but trace has %d threads",
+			sockets, mc.Cores(), threads)
+	}
+	return mc, nil
+}

@@ -1,0 +1,313 @@
+// Package store is a content-addressed, on-disk store for recorded traces
+// and the analysis artifacts derived from them. It is the shared artifact
+// layer behind cmd/bptool's -cache flag and cmd/bpserve's job service: both
+// address the same trace by the same key and reuse the same cached
+// selections and estimates, so the "one-time cost" analysis of the paper's
+// Fig. 2 is truly paid once per trace content.
+//
+// # Layout
+//
+// A store is a directory:
+//
+//	<root>/traces/<key>.bptrace        recorded traces, named by content
+//	<root>/artifacts/<key>/<name>      derived artifacts for that trace
+//
+// The key of a trace is the lowercase hex SHA-256 of its file bytes, so a
+// byte-identical trace uploaded twice — or recorded independently on two
+// machines — lands on the same path and is stored once. Artifacts are named
+// by the caller (see internal/service for the naming scheme: selection,
+// estimate and ground-truth artifacts keyed by analysis config, machine
+// config and warmup mode).
+//
+// All writes go through a temp file in the destination directory followed
+// by an atomic rename, so concurrent writers (several jobs, or a CLI racing
+// a server on the same store) can only ever observe absent or complete
+// entries, never torn ones.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+
+	"barrierpoint/internal/tracefile"
+)
+
+// ErrNotFound reports a missing trace or artifact.
+var ErrNotFound = errors.New("store: not found")
+
+// KeyLen is the length of a trace key: a lowercase hex SHA-256 digest.
+const KeyLen = 2 * sha256.Size
+
+var (
+	keyRe      = regexp.MustCompile(`^[0-9a-f]{64}$`)
+	artifactRe = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]*$`)
+)
+
+// ValidKey reports whether k is a well-formed trace key.
+func ValidKey(k string) bool { return keyRe.MatchString(k) }
+
+// ReaderKey computes the content key of a trace read from r.
+func ReaderKey(r io.Reader) (string, error) {
+	h := sha256.New()
+	if _, err := io.Copy(h, r); err != nil {
+		return "", fmt.Errorf("store: hashing trace: %w", err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// FileKey computes the content key of the trace file at path.
+func FileKey(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	return ReaderKey(f)
+}
+
+// Store is a content-addressed trace and artifact store rooted at one
+// directory. Methods are safe for concurrent use from multiple goroutines
+// (and, thanks to atomic renames, from multiple processes).
+type Store struct {
+	root string
+}
+
+// Open opens (creating if needed) the store rooted at dir.
+func Open(dir string) (*Store, error) {
+	for _, d := range []string{dir, filepath.Join(dir, "traces"), filepath.Join(dir, "artifacts")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	return &Store{root: dir}, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+func (s *Store) tracePath(key string) string {
+	return filepath.Join(s.root, "traces", key+".bptrace")
+}
+
+func (s *Store) artifactDir(key string) string {
+	return filepath.Join(s.root, "artifacts", key)
+}
+
+// PutTrace stores the trace read from r under its content key, which it
+// returns. If a byte-identical trace is already stored, the new copy is
+// discarded and existed is true. PutTrace does not validate the trace
+// format; callers that accept untrusted bytes should OpenTrace the key
+// afterwards and RemoveTrace on failure.
+func (s *Store) PutTrace(r io.Reader) (key string, existed bool, err error) {
+	tmp, err := os.CreateTemp(filepath.Join(s.root, "traces"), ".put-*")
+	if err != nil {
+		return "", false, fmt.Errorf("store: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	h := sha256.New()
+	if _, err := io.Copy(io.MultiWriter(tmp, h), r); err != nil {
+		return "", false, fmt.Errorf("store: writing trace: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		tmp = nil
+		return "", false, fmt.Errorf("store: %w", err)
+	}
+	key = hex.EncodeToString(h.Sum(nil))
+	dst := s.tracePath(key)
+	if _, err := os.Stat(dst); err == nil {
+		os.Remove(tmp.Name())
+		tmp = nil
+		return key, true, nil
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		return "", false, fmt.Errorf("store: %w", err)
+	}
+	tmp = nil
+	return key, false, nil
+}
+
+// ImportTrace stores the trace file at path under its content key.
+func (s *Store) ImportTrace(path string) (key string, existed bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", false, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	return s.PutTrace(f)
+}
+
+// HasTrace reports whether the store holds a trace with the given key.
+func (s *Store) HasTrace(key string) bool {
+	if !ValidKey(key) {
+		return false
+	}
+	_, err := os.Stat(s.tracePath(key))
+	return err == nil
+}
+
+// TracePath returns the on-disk path of the stored trace, or ErrNotFound.
+func (s *Store) TracePath(key string) (string, error) {
+	if !ValidKey(key) {
+		return "", fmt.Errorf("store: malformed trace key %q", key)
+	}
+	p := s.tracePath(key)
+	if _, err := os.Stat(p); err != nil {
+		return "", fmt.Errorf("store: trace %s: %w", key, ErrNotFound)
+	}
+	return p, nil
+}
+
+// OpenTrace opens the stored trace for streaming replay.
+func (s *Store) OpenTrace(key string) (*tracefile.File, error) {
+	p, err := s.TracePath(key)
+	if err != nil {
+		return nil, err
+	}
+	return tracefile.Open(p)
+}
+
+// RemoveTrace deletes a stored trace and all artifacts derived from it.
+func (s *Store) RemoveTrace(key string) error {
+	if !ValidKey(key) {
+		return fmt.Errorf("store: malformed trace key %q", key)
+	}
+	if err := os.Remove(s.tracePath(key)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.RemoveAll(s.artifactDir(key)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Traces lists the keys of all stored traces, sorted.
+func (s *Store) Traces() ([]string, error) {
+	ents, err := os.ReadDir(filepath.Join(s.root, "traces"))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var keys []string
+	for _, e := range ents {
+		name := e.Name()
+		if len(name) == KeyLen+len(".bptrace") && filepath.Ext(name) == ".bptrace" {
+			if k := name[:KeyLen]; ValidKey(k) {
+				keys = append(keys, k)
+			}
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+func (s *Store) checkArtifact(key, name string) error {
+	if !ValidKey(key) {
+		return fmt.Errorf("store: malformed trace key %q", key)
+	}
+	if !artifactRe.MatchString(name) {
+		return fmt.Errorf("store: malformed artifact name %q", name)
+	}
+	return nil
+}
+
+// GetArtifact returns the named artifact cached for the trace, or an error
+// wrapping ErrNotFound when it has not been stored.
+func (s *Store) GetArtifact(key, name string) ([]byte, error) {
+	if err := s.checkArtifact(key, name); err != nil {
+		return nil, err
+	}
+	b, err := os.ReadFile(filepath.Join(s.artifactDir(key), name))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: artifact %s/%s: %w", key, name, ErrNotFound)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return b, nil
+}
+
+// HasArtifact reports whether the named artifact is cached for the trace.
+func (s *Store) HasArtifact(key, name string) bool {
+	if s.checkArtifact(key, name) != nil {
+		return false
+	}
+	_, err := os.Stat(filepath.Join(s.artifactDir(key), name))
+	return err == nil
+}
+
+// PutArtifact atomically stores the named artifact for the trace,
+// overwriting any previous value.
+func (s *Store) PutArtifact(key, name string, data []byte) error {
+	if err := s.checkArtifact(key, name); err != nil {
+		return err
+	}
+	dir := s.artifactDir(key)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".put-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: writing artifact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// RemoveArtifact invalidates one cached artifact. Removing an artifact
+// that does not exist is not an error.
+func (s *Store) RemoveArtifact(key, name string) error {
+	if err := s.checkArtifact(key, name); err != nil {
+		return err
+	}
+	if err := os.Remove(filepath.Join(s.artifactDir(key), name)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Artifacts lists the artifact names cached for the trace, sorted. A trace
+// with no artifacts yields an empty list, not an error.
+func (s *Store) Artifacts(key string) ([]string, error) {
+	if !ValidKey(key) {
+		return nil, fmt.Errorf("store: malformed trace key %q", key)
+	}
+	ents, err := os.ReadDir(s.artifactDir(key))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var names []string
+	for _, e := range ents {
+		if artifactRe.MatchString(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}

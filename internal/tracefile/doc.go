@@ -66,6 +66,19 @@
 // per field. End of chunk is end of data: a clean EOF at a record boundary
 // terminates the stream.
 //
+// # Content addressing
+//
+// A trace file's identity is the SHA-256 of its bytes. The encoding above
+// is deterministic — chunk order, varint widths and delta predictors are
+// fully determined by the program — so recording the same program twice
+// (with the same gzip setting) produces byte-identical files and therefore
+// the same address. internal/store exploits this: traces are filed as
+// traces/<sha256>.bptrace, and every derived artifact (selection, estimate,
+// ground truth) is cached under that key plus a hash of the parameters it
+// depends on, making the expensive analysis stages cacheable by content.
+// Note the gzip flag changes the bytes, so a compressed and an uncompressed
+// recording of one program are distinct store entries by design.
+//
 // # Versioning
 //
 // The format version lives in the leading magic ("BPTRACE1") and the

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"barrierpoint/internal/store"
 	"barrierpoint/internal/tracefile"
 )
 
@@ -116,3 +117,14 @@ func RecordTrace(w io.Writer, p Program, opts ...TraceOption) error {
 func OpenTrace(path string) (*TraceFile, error) {
 	return tracefile.Open(path)
 }
+
+// TraceKey returns the content address of the recorded trace at path: the
+// lowercase hex SHA-256 of its file bytes. This is the key under which the
+// analysis service (internal/store, used by bptool -cache and bpserve)
+// files the trace and every artifact derived from it, so byte-identical
+// traces — recorded twice, or uploaded from different machines — share one
+// cache entry.
+func TraceKey(path string) (string, error) { return store.FileKey(path) }
+
+// TraceKeyReader computes the content address of a trace read from r.
+func TraceKeyReader(r io.Reader) (string, error) { return store.ReaderKey(r) }

@@ -2,6 +2,7 @@ package barrierpoint_test
 
 import (
 	"bytes"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -58,6 +59,46 @@ func TestBindValidation(t *testing.T) {
 	s, _ := bp.LoadSelection(&buf)
 	if _, err := s.Bind(workload.New("npb-is", 8, workload.WithScale(0.2))); err == nil {
 		t.Error("binding to a different program accepted")
+	}
+}
+
+// TestTraceKey checks the public content-address helpers: file and reader
+// keys agree, are stable for identical content, and differ across content.
+func TestTraceKey(t *testing.T) {
+	prog := workload.New("npb-is", 8, workload.WithScale(0.05))
+	path := filepath.Join(t.TempDir(), "is.bptrace")
+	if err := bp.SaveTrace(path, prog); err != nil {
+		t.Fatal(err)
+	}
+	fileKey, err := bp.TraceKey(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := bp.RecordTrace(&buf, prog); err != nil {
+		t.Fatal(err)
+	}
+	readerKey, err := bp.TraceKeyReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fileKey != readerKey {
+		t.Errorf("TraceKey %s != TraceKeyReader %s for identical recordings", fileKey, readerKey)
+	}
+	if len(fileKey) != 64 {
+		t.Errorf("key %q is not a hex SHA-256", fileKey)
+	}
+
+	var gz bytes.Buffer
+	if err := bp.RecordTrace(&gz, prog, bp.WithTraceGzip(true)); err != nil {
+		t.Fatal(err)
+	}
+	gzKey, err := bp.TraceKeyReader(bytes.NewReader(gz.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gzKey == fileKey {
+		t.Error("different trace bytes produced the same key")
 	}
 }
 
