@@ -262,6 +262,22 @@ const (
 // predictor entries before detailed simulation.
 const prevWarmupWindow = 12
 
+// ParseWarmup parses a warmup mode label as printed by WarmupMode.String.
+// It is the single vocabulary shared by the CLI, the service API and the
+// farm task protocol.
+func ParseWarmup(s string) (WarmupMode, error) {
+	switch s {
+	case "", "cold":
+		return ColdWarmup, nil
+	case "mru":
+		return MRUWarmup, nil
+	case "mru+prev":
+		return MRUPrevWarmup, nil
+	default:
+		return 0, fmt.Errorf("barrierpoint: unknown warmup mode %q (want cold, mru or mru+prev)", s)
+	}
+}
+
 // String names the mode.
 func (w WarmupMode) String() string {
 	switch w {
@@ -276,33 +292,52 @@ func (w WarmupMode) String() string {
 	}
 }
 
-// SimulatePoints runs the selected barrierpoints in detail, each on its own
-// fresh machine, in parallel across available CPUs. With MRUWarmup, one
-// functional pass over the program captures per-core MRU cache lines at
-// each barrierpoint entry; each machine replays its snapshot first.
-func (a *Analysis) SimulatePoints(mc MachineConfig, mode WarmupMode) (map[int]RegionResult, error) {
-	if a.Program.Threads() != mc.Cores() {
-		return nil, fmt.Errorf("barrierpoint: program has %d threads but machine has %d cores", a.Program.Threads(), mc.Cores())
-	}
-	regions := make([]int, len(a.Selection.Points))
-	for i, p := range a.Selection.Points {
-		regions[i] = p.Region
-	}
+// PointRunner executes the detailed simulation of a set of selected
+// barrierpoint regions. It is the execution-strategy seam of the pipeline:
+// LocalRunner (the default) runs the points on an in-process worker pool,
+// while internal/farm provides runners that cache per-point results in a
+// content-addressed store or distribute the points across a fleet of
+// bpworker machines. All runners must produce bit-identical RegionResults
+// for the same program, machine and warmup mode — each point is simulated
+// on a fresh machine whose warmup state depends only on the trace prefix
+// before the point, never on which other points run or where.
+type PointRunner interface {
+	// RunPoints simulates each listed region of p in detail and returns
+	// the results keyed by region index. regions may contain duplicates;
+	// implementations must cover every listed region.
+	RunPoints(p Program, regions []int, mc MachineConfig, mode WarmupMode) (map[int]RegionResult, error)
+}
 
+// LocalRunner is the default PointRunner: a bounded in-process worker pool
+// of Workers goroutines (GOMAXPROCS if <= 0) draining a shared queue of
+// barrierpoints. With MRU warmup, one functional pass over the program
+// captures every point's snapshot before simulation starts.
+type LocalRunner struct {
+	Workers int
+}
+
+// RunPoints implements PointRunner on the local worker pool.
+func (lr LocalRunner) RunPoints(p Program, regions []int, mc MachineConfig, mode WarmupMode) (map[int]RegionResult, error) {
+	if p.Threads() != mc.Cores() {
+		return nil, fmt.Errorf("barrierpoint: program has %d threads but machine has %d cores", p.Threads(), mc.Cores())
+	}
 	var snaps map[int]warmup.Snapshot
 	if mode == MRUWarmup || mode == MRUPrevWarmup {
 		capacity := mc.L3.Lines() * mc.Sockets // largest total shared LLC
-		snaps = warmup.Capture(a.Program, regions, capacity)
+		snaps = warmup.Capture(p, regions, capacity)
 	}
 
-	// Bounded worker pool: at most GOMAXPROCS goroutines drain a shared
+	// Bounded worker pool: at most Workers goroutines drain a shared
 	// queue of barrierpoints, rather than spawning one goroutine per point
 	// gated by a semaphore — large selections would otherwise park
 	// thousands of goroutines on the semaphore and churn the scheduler.
 	out := make(map[int]RegionResult, len(regions))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
+	workers := lr.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(regions) {
 		workers = len(regions)
 	}
@@ -316,18 +351,7 @@ func (a *Analysis) SimulatePoints(mc MachineConfig, mode WarmupMode) (map[int]Re
 		go func() {
 			defer wg.Done()
 			for r := range next {
-				m := sim.New(mc)
-				if mode == MRUWarmup || mode == MRUPrevWarmup {
-					warmup.Replay(m, snaps[r])
-				}
-				if mode == MRUPrevWarmup {
-					for q := r - prevWarmupWindow; q < r; q++ {
-						if q >= 0 {
-							m.WarmRegion(a.Program.Region(q))
-						}
-					}
-				}
-				res := m.RunRegion(a.Program.Region(r))
+				res := runPoint(p, r, mc, mode, snaps[r])
 				mu.Lock()
 				out[r] = res
 				mu.Unlock()
@@ -336,6 +360,68 @@ func (a *Analysis) SimulatePoints(mc MachineConfig, mode WarmupMode) (map[int]Re
 	}
 	wg.Wait()
 	return out, nil
+}
+
+// runPoint simulates one barrierpoint on a fresh machine with the given
+// warmup snapshot. This is the single code path behind LocalRunner and
+// SimulatePoint, so in-process and farmed execution cannot diverge.
+func runPoint(p Program, region int, mc MachineConfig, mode WarmupMode, snap warmup.Snapshot) RegionResult {
+	m := sim.New(mc)
+	if mode == MRUWarmup || mode == MRUPrevWarmup {
+		warmup.Replay(m, snap)
+	}
+	if mode == MRUPrevWarmup {
+		for q := region - prevWarmupWindow; q < region; q++ {
+			if q >= 0 {
+				m.WarmRegion(p.Region(q))
+			}
+		}
+	}
+	return m.RunRegion(p.Region(region))
+}
+
+// SimulatePoint runs the detailed simulation of a single selected region,
+// producing a RegionResult bit-identical to the one SimulatePoints would
+// compute for that region: the warmup snapshot captured at a region's
+// entry is a pure function of the trace prefix before it, so simulating
+// one point in isolation — on another machine, in another process —
+// yields exactly the local result. This is the unit of work a farm worker
+// (cmd/bpworker) executes.
+func SimulatePoint(p Program, region int, mc MachineConfig, mode WarmupMode) (RegionResult, error) {
+	if p.Threads() != mc.Cores() {
+		return RegionResult{}, fmt.Errorf("barrierpoint: program has %d threads but machine has %d cores", p.Threads(), mc.Cores())
+	}
+	if region < 0 || region >= p.Regions() {
+		return RegionResult{}, fmt.Errorf("barrierpoint: region %d out of range [0, %d)", region, p.Regions())
+	}
+	var snap warmup.Snapshot
+	if mode == MRUWarmup || mode == MRUPrevWarmup {
+		capacity := mc.L3.Lines() * mc.Sockets
+		snap = warmup.Capture(p, []int{region}, capacity)[region]
+	}
+	return runPoint(p, region, mc, mode, snap), nil
+}
+
+// SimulatePoints runs the selected barrierpoints in detail, each on its own
+// fresh machine, in parallel across available CPUs. With MRUWarmup, one
+// functional pass over the program captures per-core MRU cache lines at
+// each barrierpoint entry; each machine replays its snapshot first.
+func (a *Analysis) SimulatePoints(mc MachineConfig, mode WarmupMode) (map[int]RegionResult, error) {
+	return a.SimulatePointsWith(LocalRunner{}, mc, mode)
+}
+
+// SimulatePointsWith runs the selected barrierpoints through an explicit
+// execution strategy: LocalRunner for the in-process pool, or a
+// store-backed or farm-distributed runner from internal/farm.
+func (a *Analysis) SimulatePointsWith(runner PointRunner, mc MachineConfig, mode WarmupMode) (map[int]RegionResult, error) {
+	if a.Program.Threads() != mc.Cores() {
+		return nil, fmt.Errorf("barrierpoint: program has %d threads but machine has %d cores", a.Program.Threads(), mc.Cores())
+	}
+	regions := make([]int, len(a.Selection.Points))
+	for i, p := range a.Selection.Points {
+		regions[i] = p.Region
+	}
+	return runner.RunPoints(a.Program, regions, mc, mode)
 }
 
 // EstimateFrom reconstructs whole-program metrics from barrierpoint
@@ -347,7 +433,15 @@ func (a *Analysis) EstimateFrom(results map[int]RegionResult) (Estimate, error) 
 // Estimate is the one-call convenience: simulate barrierpoints under the
 // given machine and warmup mode, then reconstruct whole-program metrics.
 func (a *Analysis) Estimate(mc MachineConfig, mode WarmupMode) (Estimate, error) {
-	res, err := a.SimulatePoints(mc, mode)
+	return a.EstimateWith(LocalRunner{}, mc, mode)
+}
+
+// EstimateWith is Estimate with an explicit point execution strategy.
+// Reconstruction sums the per-point results in selection order, so any two
+// runners that simulate the same points bit-identically — as all runners
+// must — produce bit-identical estimates.
+func (a *Analysis) EstimateWith(runner PointRunner, mc MachineConfig, mode WarmupMode) (Estimate, error) {
+	res, err := a.SimulatePointsWith(runner, mc, mode)
 	if err != nil {
 		return Estimate{}, err
 	}

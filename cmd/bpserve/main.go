@@ -23,6 +23,21 @@
 //	GET  /v1/jobs/{id}         job status; result embedded when done
 //	GET  /healthz              liveness + store/queue counters
 //	GET  /debug/vars           expvar-style metrics
+//
+// The farm tier (see internal/farm) adds the worker-facing endpoints —
+// bpworker processes register, lease point-simulation tasks, heartbeat
+// their leases, fetch traces they are missing, and upload results:
+//
+//	POST /farm/register        join the fleet → worker id + lease TTL
+//	POST /farm/lease           pull up to N leased tasks
+//	POST /farm/heartbeat       renew held leases
+//	POST /farm/result          upload a RegionResult (idempotent) or error
+//	GET  /farm/workers         fleet status + queue stats
+//	GET  /farm/trace/{key}     raw trace bytes for worker-side replay
+//
+// Estimate jobs choose their execution with "exec": "local", "farm", or
+// "auto" (the default: farm whenever live workers are registered, local
+// otherwise). Farmed and local estimates are bit-identical.
 package main
 
 import (
@@ -39,6 +54,7 @@ import (
 	"syscall"
 	"time"
 
+	"barrierpoint/internal/farm"
 	"barrierpoint/internal/service"
 	"barrierpoint/internal/store"
 )
@@ -60,6 +76,8 @@ func run(args []string, stderr io.Writer) error {
 		workers  = fs.Int("workers", 0, "job worker goroutines (0 = GOMAXPROCS)")
 		depth    = fs.Int("queue", 0, "job queue depth (0 = default)")
 		maxMB    = fs.Int64("max-upload-mb", 1024, "largest accepted trace upload, MiB")
+		leaseTTL = fs.Duration("farm-lease-ttl", 30*time.Second, "farm task lease duration (heartbeats renew it)")
+		retries  = fs.Int("farm-retries", 3, "farm task attempts before permanent failure")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -73,6 +91,7 @@ func run(args []string, stderr io.Writer) error {
 		return err
 	}
 	mgr := service.New(st, *workers, *depth)
+	mgr.SetFarm(farm.NewQueue(st, farm.Config{LeaseTTL: *leaseTTL, MaxAttempts: *retries}))
 	srv := newServer(st, mgr)
 	srv.maxUpload = *maxMB << 20
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
@@ -127,6 +146,10 @@ func newServer(st *store.Store, mgr *service.Manager) *server {
 		return len(keys)
 	}))
 	s.vars.Set("jobs", expvar.Func(func() any { return s.mgr.Stats() }))
+	if q := mgr.Farm(); q != nil {
+		s.vars.Set("farm", expvar.Func(func() any { return q.Stats() }))
+		s.mux.Handle("/farm/", farm.NewServer(q, st))
+	}
 
 	s.mux.HandleFunc("POST /v1/traces", s.handleUpload)
 	s.mux.HandleFunc("GET /v1/traces", s.handleListTraces)

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"barrierpoint/internal/farm"
 	"barrierpoint/internal/service"
 	"barrierpoint/internal/store"
 	"barrierpoint/internal/tracefile"
@@ -297,4 +298,121 @@ func TestBadRequests(t *testing.T) {
 	doJSON(t, "GET", base+"/v1/jobs/job-999999", nil, http.StatusNotFound, nil)
 	doJSON(t, "GET", base+"/v1/traces/"+missing, nil, http.StatusNotFound, nil)
 	doJSON(t, "GET", base+"/v1/selections/"+missing, nil, http.StatusNotFound, nil)
+}
+
+// TestFarmEndToEnd exercises the farm tier through the real bpserve mux:
+// upload a trace, submit a farmed estimate, serve it with bpworker's
+// protocol client acting as the fleet, and check the result matches a
+// local estimate of the same trace byte for byte.
+func TestFarmEndToEnd(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := service.New(st, 2, 0)
+	mgr.SetFarm(farm.NewQueue(st, farm.Config{LeaseTTL: 5 * time.Second}))
+	ts := httptest.NewServer(newServer(st, mgr))
+	defer func() {
+		ts.Close()
+		mgr.Shutdown(context.Background())
+	}()
+	base := ts.URL
+
+	var buf bytes.Buffer
+	if err := tracefile.Record(&buf, workload.New("npb-is", 8, workload.WithScale(0.05))); err != nil {
+		t.Fatal(err)
+	}
+	var meta struct {
+		Key string `json:"key"`
+	}
+	doJSON(t, "POST", base+"/v1/traces", buf.Bytes(), http.StatusCreated, &meta)
+
+	// Submit the farmed estimate first; it blocks until the fleet works.
+	var farmedJob service.Snapshot
+	doJSON(t, "POST", base+"/v1/jobs",
+		[]byte(fmt.Sprintf(`{"kind":"estimate","trace":%q,"warmup":"mru","exec":"farm"}`, meta.Key)),
+		http.StatusAccepted, &farmedJob)
+
+	// A worker joins over the public protocol and drains the queue.
+	c := &farm.Client{Base: base}
+	if err := c.Register("e2e-worker"); err != nil {
+		t.Fatal(err)
+	}
+	wst, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	workerCtx, stopWorker := context.WithCancel(context.Background())
+	defer stopWorker()
+	go func() {
+		for workerCtx.Err() == nil {
+			tasks, err := c.Lease(4)
+			if err != nil {
+				return
+			}
+			for _, task := range tasks {
+				if err := c.FetchTrace(wst, task.TraceKey); err != nil {
+					c.Fail(task.ID, err.Error())
+					continue
+				}
+				res, err := farm.ExecuteTask(wst, task)
+				if err != nil {
+					c.Fail(task.ID, err.Error())
+					continue
+				}
+				c.Complete(task.ID, res)
+			}
+			if len(tasks) == 0 {
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+	}()
+
+	farmed := pollJob(t, base, farmedJob.ID)
+	if farmed.Status != service.StatusDone {
+		t.Fatalf("farmed estimate failed: %s", farmed.Error)
+	}
+
+	// Fleet status shows the worker; expvar exposes farm stats.
+	var fleet struct {
+		Workers []farm.WorkerInfo `json:"workers"`
+		Stats   farm.Stats        `json:"stats"`
+	}
+	doJSON(t, "GET", base+"/farm/workers", nil, http.StatusOK, &fleet)
+	if len(fleet.Workers) != 1 || fleet.Workers[0].Name != "e2e-worker" {
+		t.Fatalf("fleet: %+v", fleet.Workers)
+	}
+	if fleet.Stats.Completed == 0 {
+		t.Fatalf("no completed tasks in stats: %+v", fleet.Stats)
+	}
+	var vars map[string]json.RawMessage
+	doJSON(t, "GET", base+"/debug/vars", nil, http.StatusOK, &vars)
+	if _, ok := vars["farm"]; !ok {
+		t.Fatalf("expvar missing farm section: %v", vars)
+	}
+
+	// The same estimate computed locally on a second, farm-free server
+	// over a fresh store must be byte-identical.
+	st2, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr2 := service.New(st2, 2, 0)
+	ts2 := httptest.NewServer(newServer(st2, mgr2))
+	defer func() {
+		ts2.Close()
+		mgr2.Shutdown(context.Background())
+	}()
+	doJSON(t, "POST", ts2.URL+"/v1/traces", buf.Bytes(), http.StatusCreated, &meta)
+	var localJob service.Snapshot
+	doJSON(t, "POST", ts2.URL+"/v1/jobs",
+		[]byte(fmt.Sprintf(`{"kind":"estimate","trace":%q,"warmup":"mru","exec":"local"}`, meta.Key)),
+		http.StatusAccepted, &localJob)
+	local := pollJob(t, ts2.URL, localJob.ID)
+	if local.Status != service.StatusDone {
+		t.Fatalf("local estimate failed: %s", local.Error)
+	}
+	if !jsonEqual(t, farmed.Result, local.Result) {
+		t.Fatalf("farmed != local:\nfarmed: %s\nlocal:  %s", farmed.Result, local.Result)
+	}
 }

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	bp "barrierpoint"
+	"barrierpoint/internal/farm"
 	"barrierpoint/internal/report"
 	"barrierpoint/internal/service"
 	"barrierpoint/internal/stats"
@@ -194,7 +195,7 @@ func runInfo(args []string, stdout, stderr io.Writer) error {
 // when already cached — profiling and clustering are skipped entirely. The
 // returned program replays from the store's copy of the trace, so later
 // stages stream exactly the bytes the key addresses.
-func cachedAnalysis(st *store.Store, prog bp.Program, tracePath string) (*bp.Analysis, bp.Program, string, error) {
+func cachedAnalysis(st *store.Store, prog bp.Program, tracePath string) (*bp.Analysis, bp.Program, string, string, error) {
 	var key string
 	var err error
 	if tracePath != "" {
@@ -208,30 +209,30 @@ func cachedAnalysis(st *store.Store, prog bp.Program, tracePath string) (*bp.Ana
 		key, _, err = st.PutTrace(pr)
 	}
 	if err != nil {
-		return nil, nil, "", err
+		return nil, nil, "", "", err
 	}
 	selBytes, cached, err := service.AnalyzeCached(st, key, bp.DefaultConfig())
 	if err != nil {
-		return nil, nil, "", err
+		return nil, nil, "", "", err
 	}
 	sel, err := bp.LoadSelection(bytes.NewReader(selBytes))
 	if err != nil {
-		return nil, nil, "", err
+		return nil, nil, "", "", err
 	}
 	f, err := st.OpenTrace(key)
 	if err != nil {
-		return nil, nil, "", err
+		return nil, nil, "", "", err
 	}
 	a, err := sel.Bind(f)
 	if err != nil {
 		f.Close()
-		return nil, nil, "", err
+		return nil, nil, "", "", err
 	}
 	note := ", selection computed and cached"
 	if cached {
 		note = ", selection reused from cache"
 	}
-	return a, f, fmt.Sprintf("%s, trace %s", note, key[:12]), nil
+	return a, f, fmt.Sprintf("%s, trace %s", note, key[:12]), key, nil
 }
 
 // runAnalyze is the classic pipeline: analyze, estimate, and (optionally)
@@ -293,18 +294,24 @@ func runAnalyze(args []string, stdout, stderr io.Writer) error {
 	start := time.Now()
 	var analysis *bp.Analysis
 	var note string
+	// With -cache, point simulations also go through the store: results
+	// computed here are reused by later runs, by bpserve jobs, and by farm
+	// workers over the same store — and vice versa.
+	var pointRunner *farm.CachedRunner
 	if *cacheDir != "" {
 		st, err := store.Open(*cacheDir)
 		if err != nil {
 			return err
 		}
-		analysis, prog, note, err = cachedAnalysis(st, prog, *tracePath)
+		var key string
+		analysis, prog, note, key, err = cachedAnalysis(st, prog, *tracePath)
 		if err != nil {
 			return err
 		}
 		if closer, ok := prog.(interface{ Close() error }); ok {
 			defer closer.Close()
 		}
+		pointRunner = &farm.CachedRunner{St: st, TraceKey: key, Inner: bp.LocalRunner{}}
 	} else {
 		var err error
 		analysis, err = bp.Analyze(prog, bp.DefaultConfig())
@@ -326,12 +333,22 @@ func runAnalyze(args []string, stdout, stderr io.Writer) error {
 		analysis.SerialSpeedup(), analysis.ParallelSpeedup(), analysis.ResourceReduction())
 
 	start = time.Now()
-	est, err := analysis.Estimate(mc, mode)
+	var est bp.Estimate
+	var pointNote string
+	if pointRunner != nil {
+		est, err = analysis.EstimateWith(pointRunner, mc, mode)
+		if err == nil {
+			pointNote = fmt.Sprintf(", %d/%d point results reused from cache",
+				pointRunner.Hits, pointRunner.Hits+pointRunner.Misses)
+		}
+	} else {
+		est, err = analysis.Estimate(mc, mode)
+	}
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "\nestimate (%s warmup, %v): runtime %.3f ms, IPC %.2f, DRAM APKI %.2f\n",
-		mode, time.Since(start).Round(time.Millisecond), est.TimeNs/1e6, est.IPC(), est.DRAMAPKI())
+	fmt.Fprintf(stdout, "\nestimate (%s warmup, %v%s): runtime %.3f ms, IPC %.2f, DRAM APKI %.2f\n",
+		mode, time.Since(start).Round(time.Millisecond), pointNote, est.TimeNs/1e6, est.IPC(), est.DRAMAPKI())
 
 	if *skipFull {
 		return nil

@@ -103,10 +103,18 @@ func TestAnalyzeWithCache(t *testing.T) {
 	if !strings.Contains(out, "selection computed and cached") {
 		t.Errorf("first cached run output unexpected:\n%s", out)
 	}
+	if !strings.Contains(out, ", 0/") || !strings.Contains(out, "point results reused from cache") {
+		t.Errorf("first cached run should report zero point reuse:\n%s", out)
+	}
 
 	out = exec(t, "-trace", tracePath, "-cache", cacheDir, "-warmup", "cold", "-skip-full")
 	if !strings.Contains(out, "selection reused from cache") {
 		t.Errorf("second cached run did not hit the store:\n%s", out)
+	}
+	// Point-simulation results cache too (shared with farm workers and
+	// bpserve jobs): on the second run every point is a store hit.
+	if strings.Contains(out, ", 0/") || !strings.Contains(out, "point results reused from cache") {
+		t.Errorf("second cached run recomputed point results:\n%s", out)
 	}
 
 	// A built-in workload routes through the same store: identical content

@@ -1,0 +1,311 @@
+// Command bpworker is a farm worker: it registers with a bpserve server,
+// pulls leased point-simulation tasks over the HTTP/JSON farm protocol
+// (see internal/farm), fetches any trace it is missing into its own
+// content-addressed store, simulates each point, and uploads the results.
+// Workers are stateless and interchangeable — start as many as there are
+// machines, kill them at will; the server's lease queue requeues whatever
+// a lost worker was holding.
+//
+// Usage:
+//
+//	bpworker -server http://bpserve:8080 -store /var/cache/bpworker
+//	bpworker -server http://bpserve:8080 -concurrency 8 -name rack3-07
+//
+// A worker batches up to -concurrency tasks per lease, simulates them in
+// parallel, and heartbeats all held leases at a third of the server's
+// lease TTL. On SIGINT/SIGTERM it stops leasing, finishes what it holds,
+// and exits — nothing is abandoned mid-lease unless the process is
+// killed, and even then the server requeues after the TTL.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"runtime"
+	"sync"
+	"syscall"
+	"time"
+
+	bp "barrierpoint"
+	"barrierpoint/internal/farm"
+	"barrierpoint/internal/store"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "bpworker: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: it serves tasks until ctx is done, the
+// -max-tasks budget is spent, or the queue stays empty past -idle-exit.
+func run(ctx context.Context, args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bpworker", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		server      = fs.String("server", "http://127.0.0.1:8080", "bpserve base URL")
+		storeDir    = fs.String("store", "bpworker-store", "local content-addressed trace store")
+		name        = fs.String("name", "", "worker name shown in /farm/workers (default: hostname)")
+		concurrency = fs.Int("concurrency", 0, "tasks simulated in parallel (0 = GOMAXPROCS)")
+		poll        = fs.Duration("poll", 500*time.Millisecond, "sleep between empty lease polls")
+		maxTasks    = fs.Int("max-tasks", 0, "exit after attempting this many tasks (0 = run forever)")
+		idleExit    = fs.Duration("idle-exit", 0, "exit after the queue stays empty this long (0 = never)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
+		return err
+	}
+	if *name == "" {
+		if h, err := os.Hostname(); err == nil {
+			*name = h
+		} else {
+			*name = "bpworker"
+		}
+	}
+	if *concurrency <= 0 {
+		*concurrency = runtime.GOMAXPROCS(0)
+	}
+
+	st, err := store.Open(*storeDir)
+	if err != nil {
+		return err
+	}
+	c := &farm.Client{Base: *server}
+
+	// The server may still be starting (CI launches both at once): retry
+	// registration briefly before giving up.
+	for attempt := 0; ; attempt++ {
+		if err = c.Register(*name); err == nil {
+			break
+		}
+		if attempt >= 20 || ctx.Err() != nil {
+			return fmt.Errorf("registering with %s: %w", *server, err)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(250 * time.Millisecond):
+		}
+	}
+	fmt.Fprintf(stderr, "bpworker: registered as %s (%s) with %s, concurrency %d\n",
+		c.Worker, *name, *server, *concurrency)
+
+	w := &worker{client: c, st: st, stderr: stderr}
+	w.startHeartbeats()
+	defer w.stopHeartbeats()
+
+	attempted := 0
+	idleSince := time.Time{}
+	for ctx.Err() == nil {
+		want := *concurrency
+		if *maxTasks > 0 && *maxTasks-attempted < want {
+			want = *maxTasks - attempted
+		}
+		tasks, err := c.Lease(want)
+		if err != nil {
+			// Transient server trouble: back off and retry rather than
+			// dying mid-fleet.
+			fmt.Fprintf(stderr, "bpworker: lease: %v\n", err)
+			select {
+			case <-ctx.Done():
+			case <-time.After(*poll):
+			}
+			continue
+		}
+		if len(tasks) == 0 {
+			if idleSince.IsZero() {
+				idleSince = time.Now()
+			} else if *idleExit > 0 && time.Since(idleSince) >= *idleExit {
+				fmt.Fprintf(stderr, "bpworker: idle for %v, exiting\n", *idleExit)
+				return nil
+			}
+			select {
+			case <-ctx.Done():
+			case <-time.After(*poll):
+			}
+			continue
+		}
+		idleSince = time.Time{}
+		attempted += len(tasks)
+		w.process(tasks)
+		if *maxTasks > 0 && attempted >= *maxTasks {
+			fmt.Fprintf(stderr, "bpworker: attempted %d tasks, exiting\n", attempted)
+			return nil
+		}
+	}
+	// Signal received after all held tasks finished (process waits for
+	// its batch): a clean exit, nothing left leased.
+	fmt.Fprintln(stderr, "bpworker: shutting down")
+	return nil
+}
+
+// worker holds the shared state of one bpworker process: the protocol
+// client, the local trace store, and the set of currently-held task ids
+// the heartbeat loop renews.
+type worker struct {
+	client *farm.Client
+	st     *store.Store
+	stderr io.Writer
+
+	mu       sync.Mutex
+	held     map[string]bool
+	hbCancel context.CancelFunc
+	hbDone   chan struct{}
+}
+
+func (w *worker) hold(ids []string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.held == nil {
+		w.held = make(map[string]bool)
+	}
+	for _, id := range ids {
+		w.held[id] = true
+	}
+}
+
+func (w *worker) release(id string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delete(w.held, id)
+}
+
+func (w *worker) heldIDs() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]string, 0, len(w.held))
+	for id := range w.held {
+		out = append(out, id)
+	}
+	return out
+}
+
+// startHeartbeats renews every held lease at a third of the TTL so slow
+// simulations are never reassigned while the worker is alive. The loop
+// deliberately does not watch the signal context: on SIGINT the worker
+// finishes the tasks it holds, and their leases must stay renewed until
+// that drain completes (stopHeartbeats runs after the main loop exits).
+func (w *worker) startHeartbeats() {
+	hctx, cancel := context.WithCancel(context.Background())
+	w.hbCancel = cancel
+	w.hbDone = make(chan struct{})
+	interval := w.client.LeaseTTL / 3
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	go func() {
+		defer close(w.hbDone)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-hctx.Done():
+				return
+			case <-tick.C:
+				ids := w.heldIDs()
+				if len(ids) == 0 {
+					continue
+				}
+				dropped, err := w.client.Heartbeat(ids)
+				if err != nil {
+					fmt.Fprintf(w.stderr, "bpworker: heartbeat: %v\n", err)
+					continue
+				}
+				for _, id := range dropped {
+					// The server reassigned these (e.g. after a network
+					// partition outlasted the TTL); stop renewing. Any
+					// result we still upload is accepted idempotently.
+					w.release(id)
+				}
+			}
+		}
+	}()
+}
+
+func (w *worker) stopHeartbeats() {
+	if w.hbCancel != nil {
+		w.hbCancel()
+		<-w.hbDone
+	}
+}
+
+// process simulates one leased batch in parallel and uploads every
+// outcome before returning.
+func (w *worker) process(tasks []farm.Task) {
+	ids := make([]string, len(tasks))
+	for i, t := range tasks {
+		ids[i] = t.ID
+	}
+	w.hold(ids)
+	// Prefetch each distinct trace once: a fresh worker leasing a batch
+	// of tasks for one trace must not download it -concurrency times in
+	// parallel. Errors are left for runTask's own fetch (a cheap no-op
+	// retry) so they are reported per task.
+	prefetched := make(map[string]bool)
+	for _, t := range tasks {
+		if !prefetched[t.TraceKey] {
+			prefetched[t.TraceKey] = true
+			if err := w.client.FetchTrace(w.st, t.TraceKey); err != nil {
+				fmt.Fprintf(w.stderr, "bpworker: prefetching trace %.12s: %v\n", t.TraceKey, err)
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	for _, t := range tasks {
+		wg.Add(1)
+		go func(t farm.Task) {
+			defer wg.Done()
+			defer w.release(t.ID)
+			if err := w.runTask(t); err != nil {
+				fmt.Fprintf(w.stderr, "bpworker: task %s: %v\n", t.ID, err)
+			}
+		}(t)
+	}
+	wg.Wait()
+}
+
+// runTask executes one task end to end: ensure the trace is local,
+// simulate the point, upload the result. Fetch and simulation errors are
+// reported as task failures (consuming one of the task's bounded
+// attempts — another worker may succeed). An upload error is NOT a task
+// failure: the compute succeeded, so the worker retries the idempotent
+// upload a few times and otherwise lets the lease expire and the task be
+// redone, rather than burning attempts on server-side trouble.
+func (w *worker) runTask(t farm.Task) error {
+	start := time.Now()
+	res, err := func() (bp.RegionResult, error) {
+		if err := w.client.FetchTrace(w.st, t.TraceKey); err != nil {
+			return bp.RegionResult{}, err
+		}
+		return farm.ExecuteTask(w.st, t)
+	}()
+	if err != nil {
+		if ferr := w.client.Fail(t.ID, err.Error()); ferr != nil {
+			fmt.Fprintf(w.stderr, "bpworker: reporting failure of %s: %v\n", t.ID, ferr)
+		}
+		return err
+	}
+	var uploadErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		if uploadErr = w.client.Complete(t.ID, res); uploadErr == nil {
+			break
+		}
+		time.Sleep(time.Duration(attempt+1) * 100 * time.Millisecond)
+	}
+	if uploadErr != nil {
+		return fmt.Errorf("uploading result: %w", uploadErr)
+	}
+	fmt.Fprintf(w.stderr, "bpworker: %s done (trace %.12s region %d, attempt %d, %v)\n",
+		t.ID, t.TraceKey, t.Region, t.Attempt, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"barrierpoint/internal/farm"
+	"barrierpoint/internal/store"
+	"barrierpoint/internal/tracefile"
+	"barrierpoint/internal/workload"
+)
+
+// newFarm spins up a queue, its HTTP server and a server-side store
+// holding one small trace.
+func newFarm(t *testing.T) (*farm.Queue, *httptest.Server, *store.Store, string) {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tracefile.Record(&buf, workload.New("npb-is", 8, workload.WithScale(0.05))); err != nil {
+		t.Fatal(err)
+	}
+	key, _, err := st.PutTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := farm.NewQueue(st, farm.Config{LeaseTTL: 5 * time.Second})
+	srv := httptest.NewServer(farm.NewServer(q, st))
+	t.Cleanup(srv.Close)
+	t.Cleanup(q.Close)
+	return q, srv, st, key
+}
+
+// TestWorkerProcessesTasks runs the real bpworker loop against a real
+// farm server: it must register, fetch the trace it does not have,
+// simulate both enqueued points in one batch, upload the results, and
+// exit when its task budget is spent.
+func TestWorkerProcessesTasks(t *testing.T) {
+	q, srv, st, key := newFarm(t)
+
+	var tickets []*farm.Ticket
+	for _, region := range []int{1, 2} {
+		tk, err := q.Enqueue(farm.Spec{TraceKey: key, Region: region, Sockets: 1, Warmup: "mru"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+
+	workerStore := filepath.Join(t.TempDir(), "wstore")
+	var stderr bytes.Buffer
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	err := run(ctx, []string{
+		"-server", srv.URL,
+		"-store", workerStore,
+		"-name", "unit-test-worker",
+		"-concurrency", "2",
+		"-poll", "10ms",
+		"-max-tasks", "2",
+	}, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, stderr.String())
+	}
+
+	res, err := farm.WaitAll(context.Background(), tickets)
+	if err != nil {
+		t.Fatalf("tickets unresolved: %v\nstderr:\n%s", err, stderr.String())
+	}
+	// The worker's results must be bit-identical to server-local compute.
+	for _, region := range []int{1, 2} {
+		want, err := farm.ExecuteTask(st, farm.Task{TraceKey: key, Region: region, Sockets: 1, Warmup: "mru"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res[region]
+		if got.Cycles != want.Cycles || got.Counters != want.Counters {
+			t.Fatalf("region %d: worker %+v != local %+v", region, got, want)
+		}
+	}
+
+	// The worker fetched the trace into its own store and showed up in
+	// the fleet listing.
+	wst, err := store.Open(workerStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wst.HasTrace(key) {
+		t.Fatal("worker never cached the trace locally")
+	}
+	workers := q.Workers()
+	if len(workers) != 1 || workers[0].Name != "unit-test-worker" || workers[0].Completed != 2 {
+		t.Fatalf("fleet state: %+v", workers)
+	}
+	if !strings.Contains(stderr.String(), "registered as") {
+		t.Fatalf("missing registration log:\n%s", stderr.String())
+	}
+}
+
+// TestWorkerIdleExit checks the -idle-exit escape hatch used by CI.
+func TestWorkerIdleExit(t *testing.T) {
+	_, srv, _, _ := newFarm(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var stderr bytes.Buffer
+	start := time.Now()
+	err := run(ctx, []string{
+		"-server", srv.URL,
+		"-store", filepath.Join(t.TempDir(), "wstore"),
+		"-poll", "10ms",
+		"-idle-exit", "100ms",
+	}, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if time.Since(start) > 20*time.Second {
+		t.Fatal("idle exit did not trigger")
+	}
+}
+
+// TestWorkerReportsFailure gives the worker a task naming a trace the
+// server does not serve; the worker must report the failure (consuming an
+// attempt) rather than wedging.
+func TestWorkerReportsFailure(t *testing.T) {
+	q, srv, _, key := newFarm(t)
+	// Region beyond the trace makes ExecuteTask fail after a successful
+	// trace fetch.
+	tk, err := q.Enqueue(farm.Spec{TraceKey: key, Region: 1 << 20, Sockets: 1, Warmup: "cold"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var stderr bytes.Buffer
+	if err := run(ctx, []string{
+		"-server", srv.URL,
+		"-store", filepath.Join(t.TempDir(), "wstore"),
+		"-poll", "10ms",
+		"-max-tasks", "3", // MaxAttempts defaults to 3: drive it to permanent failure
+	}, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	select {
+	case <-tk.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("ticket unresolved; stderr:\n%s", stderr.String())
+	}
+	if _, err := tk.Result(); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("want out-of-range failure log, got %v", err)
+	}
+}

@@ -1,0 +1,72 @@
+// Package farm is the distributed work-distribution tier: it decomposes a
+// barrierpoint estimate into independent per-point simulation tasks,
+// places them on a lease-based in-memory queue served over HTTP by
+// cmd/bpserve, and assembles the per-region results as a fleet of
+// cmd/bpworker processes streams them back. The paper's core observation
+// (conf_ispass_CarlsonHCE14 §III) is that barrierpoint simulations are
+// mutually independent — each starts from a fresh machine whose warmup
+// state is a pure function of the trace prefix — so simulation throughput
+// is horizontal: adding workers on other machines shortens the critical
+// path down to the single largest point (the paper's "parallel speedup").
+//
+// # Task lifecycle
+//
+// A task is one (trace, region, machine, warmup) simulation. Its life:
+//
+//	          Enqueue                Lease                Complete
+//	  spec ────────────▶ queued ────────────▶ leased ────────────▶ done
+//	            │           ▲                    │
+//	  store hit │           │ requeue:           │ Fail, or lease TTL
+//	            ▼           │ attempts < max     ▼ expiry (no heartbeat)
+//	          done          └──────────────── retriable ──▶ failed
+//	                                             (attempts == max)
+//
+//   - Enqueue deduplicates twice: against the content-addressed store
+//     (the task's result artifact — named by trace key, machine-config
+//     hash and warmup mode, see PointArtifact — may already exist from an
+//     earlier farm run, a local cached run, or another job), and against
+//     live tasks (an identical task already queued or leased is shared,
+//     both waiters get the same Ticket).
+//   - Lease hands a worker up to max tasks, each with a lease that
+//     expires LeaseTTL from now. A worker holding leases must call
+//     Heartbeat before they expire; each heartbeat renews the full TTL.
+//   - A task whose lease expires — worker crashed, hung, or partitioned —
+//     is requeued with its failure logged, and handed to the next worker
+//     that leases. After MaxAttempts leases end in failure or expiry the
+//     task fails permanently, and every waiter sees the accumulated
+//     per-attempt failure log.
+//   - Complete uploads the simulated RegionResult. Uploads are
+//     idempotent and unconditionally accepted, even from a worker whose
+//     lease has expired and whose task was already reassigned or
+//     completed by someone else: point simulation is deterministic, so a
+//     late duplicate result is byte-identical to the accepted one and is
+//     simply acknowledged. The first upload stores the result as a store
+//     artifact (so future runs dedup against it) and wakes the waiters.
+//
+// # Determinism
+//
+// Every execution path — LocalRunner's in-process pool, CachedRunner's
+// store-backed reuse, QueueRunner's farm distribution — funnels into
+// bp.SimulatePoint, which warms a fresh machine from a snapshot that
+// depends only on the trace bytes before the region. A farmed estimate is
+// therefore bit-identical to the local one, regardless of worker count,
+// task interleaving, retries, or mid-run worker loss.
+//
+// # Protocol (HTTP/JSON, mounted under /farm/ by cmd/bpserve)
+//
+//	POST /farm/register  {name}                → {worker, lease_ms}
+//	POST /farm/lease     {worker, max}         → {tasks, lease_ms}
+//	POST /farm/heartbeat {worker, tasks}       → {renewed, dropped}
+//	POST /farm/result    {worker, task,
+//	                      result | error}      → {status}
+//	GET  /farm/workers                         → {workers, stats}
+//	GET  /farm/trace/{key}                     → raw .bptrace bytes
+//
+// Workers are stateless: they hold no queue state, fetch any trace they
+// are missing from /farm/trace/{key} into their own content-addressed
+// store (verifying the key on ingest), and can join, leave or crash at
+// any time. A heartbeat response's "dropped" list names leases the server
+// no longer recognizes as the worker's; the worker must abandon those
+// tasks (their results would still be accepted, but the work is likely
+// being redone elsewhere).
+package farm

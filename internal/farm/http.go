@@ -1,0 +1,328 @@
+package farm
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	bp "barrierpoint"
+	"barrierpoint/internal/store"
+)
+
+// Server exposes a Queue over the HTTP/JSON protocol described in the
+// package documentation. It registers its routes with absolute /farm/
+// paths, so cmd/bpserve mounts it directly on its own mux.
+type Server struct {
+	q   *Queue
+	st  *store.Store
+	mux *http.ServeMux
+}
+
+// NewServer wraps the queue and its store in an http.Handler.
+func NewServer(q *Queue, st *store.Store) *Server {
+	s := &Server{q: q, st: st, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /farm/register", s.handleRegister)
+	s.mux.HandleFunc("POST /farm/lease", s.handleLease)
+	s.mux.HandleFunc("POST /farm/heartbeat", s.handleHeartbeat)
+	s.mux.HandleFunc("POST /farm/result", s.handleResult)
+	s.mux.HandleFunc("GET /farm/workers", s.handleWorkers)
+	s.mux.HandleFunc("GET /farm/trace/{key}", s.handleTrace)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) error(w http.ResponseWriter, code int, format string, args ...any) {
+	s.writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		s.error(w, http.StatusBadRequest, "decoding request: %v", err)
+		return false
+	}
+	return true
+}
+
+type registerRequest struct {
+	Name string `json:"name"`
+}
+
+type registerResponse struct {
+	Worker  string `json:"worker"`
+	LeaseMs int64  `json:"lease_ms"`
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Name == "" {
+		req.Name = "anonymous"
+	}
+	s.writeJSON(w, http.StatusOK, registerResponse{
+		Worker:  s.q.Register(req.Name),
+		LeaseMs: s.q.LeaseTTL().Milliseconds(),
+	})
+}
+
+type leaseRequest struct {
+	Worker string `json:"worker"`
+	Max    int    `json:"max"`
+}
+
+type leaseResponse struct {
+	Tasks   []Task `json:"tasks"`
+	LeaseMs int64  `json:"lease_ms"`
+}
+
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Worker == "" {
+		s.error(w, http.StatusBadRequest, "missing worker id")
+		return
+	}
+	tasks := s.q.Lease(req.Worker, req.Max)
+	if tasks == nil {
+		tasks = []Task{}
+	}
+	s.writeJSON(w, http.StatusOK, leaseResponse{Tasks: tasks, LeaseMs: s.q.LeaseTTL().Milliseconds()})
+}
+
+type heartbeatRequest struct {
+	Worker string   `json:"worker"`
+	Tasks  []string `json:"tasks"`
+}
+
+type heartbeatResponse struct {
+	Renewed []string `json:"renewed"`
+	Dropped []string `json:"dropped"`
+}
+
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req heartbeatRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Worker == "" {
+		s.error(w, http.StatusBadRequest, "missing worker id")
+		return
+	}
+	renewed, dropped := s.q.Heartbeat(req.Worker, req.Tasks)
+	if renewed == nil {
+		renewed = []string{}
+	}
+	if dropped == nil {
+		dropped = []string{}
+	}
+	s.writeJSON(w, http.StatusOK, heartbeatResponse{Renewed: renewed, Dropped: dropped})
+}
+
+type resultRequest struct {
+	Worker string          `json:"worker"`
+	Task   string          `json:"task"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	var req resultRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Worker == "" || req.Task == "" {
+		s.error(w, http.StatusBadRequest, "missing worker or task id")
+		return
+	}
+	if req.Error != "" {
+		if err := s.q.Fail(req.Worker, req.Task, req.Error); err != nil {
+			s.error(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, map[string]string{"status": "failed"})
+		return
+	}
+	if len(req.Result) == 0 {
+		s.error(w, http.StatusBadRequest, "result payload or error required")
+		return
+	}
+	if err := s.q.Complete(req.Worker, req.Task, req.Result); err != nil {
+		// A malformed payload is the client's fault; anything else (e.g.
+		// a store write failure) is the server's, and the worker should
+		// retry the upload rather than burn a task attempt.
+		code := http.StatusInternalServerError
+		if errors.Is(err, ErrBadResult) {
+			code = http.StatusBadRequest
+		}
+		s.error(w, code, "%v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	workers := s.q.Workers()
+	if workers == nil {
+		workers = []WorkerInfo{}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"workers": workers,
+		"stats":   s.q.Stats(),
+	})
+}
+
+// handleTrace serves the raw bytes of a stored trace so workers can pull
+// content they are missing; the content address doubles as an integrity
+// check on the worker side.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	p, err := s.st.TracePath(key)
+	if err != nil {
+		s.error(w, http.StatusNotFound, "trace %s not found", key)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	http.ServeFile(w, r, p)
+}
+
+// Client is a worker-side handle on a farm server. Register assigns the
+// worker identity; the remaining calls map one-to-one onto the protocol.
+type Client struct {
+	// Base is the server URL, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP is the transport (http.DefaultClient if nil).
+	HTTP *http.Client
+
+	// Worker is the server-assigned id, set by Register.
+	Worker string
+	// LeaseTTL is the server's lease duration, set by Register/Lease.
+	LeaseTTL time.Duration
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// post sends a JSON request and decodes a JSON response, mapping non-2xx
+// statuses onto errors carrying the server's error payload.
+func (c *Client) post(path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	hr, err := c.httpClient().Post(c.Base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer hr.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(hr.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if hr.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(b, &e) == nil && e.Error != "" {
+			return fmt.Errorf("farm: %s: %s", path, e.Error)
+		}
+		return fmt.Errorf("farm: %s: HTTP %d", path, hr.StatusCode)
+	}
+	if resp == nil {
+		return nil
+	}
+	return json.Unmarshal(b, resp)
+}
+
+// Register obtains a worker identity from the server.
+func (c *Client) Register(name string) error {
+	var resp registerResponse
+	if err := c.post("/farm/register", registerRequest{Name: name}, &resp); err != nil {
+		return err
+	}
+	c.Worker = resp.Worker
+	c.LeaseTTL = time.Duration(resp.LeaseMs) * time.Millisecond
+	return nil
+}
+
+// Lease asks for up to max tasks.
+func (c *Client) Lease(max int) ([]Task, error) {
+	var resp leaseResponse
+	if err := c.post("/farm/lease", leaseRequest{Worker: c.Worker, Max: max}, &resp); err != nil {
+		return nil, err
+	}
+	c.LeaseTTL = time.Duration(resp.LeaseMs) * time.Millisecond
+	return resp.Tasks, nil
+}
+
+// Heartbeat renews the leases on the listed tasks, returning the ids the
+// server no longer recognizes as this worker's (abandon those).
+func (c *Client) Heartbeat(ids []string) (dropped []string, err error) {
+	var resp heartbeatResponse
+	if err := c.post("/farm/heartbeat", heartbeatRequest{Worker: c.Worker, Tasks: ids}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Dropped, nil
+}
+
+// Complete uploads a task's simulation result.
+func (c *Client) Complete(taskID string, res bp.RegionResult) error {
+	b, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	return c.post("/farm/result", resultRequest{Worker: c.Worker, Task: taskID, Result: b}, nil)
+}
+
+// Fail reports a task failure with a message for the task's failure log.
+func (c *Client) Fail(taskID, msg string) error {
+	if msg == "" {
+		msg = "unknown error"
+	}
+	return c.post("/farm/result", resultRequest{Worker: c.Worker, Task: taskID, Error: msg}, nil)
+}
+
+// FetchTrace downloads the trace with the given content key into the
+// worker's local store, verifying that the received bytes hash to the
+// requested key. Fetching a trace already present is a no-op.
+func (c *Client) FetchTrace(st *store.Store, key string) error {
+	if st.HasTrace(key) {
+		return nil
+	}
+	hr, err := c.httpClient().Get(c.Base + "/farm/trace/" + key)
+	if err != nil {
+		return err
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		return fmt.Errorf("farm: fetching trace %.12s: HTTP %d", key, hr.StatusCode)
+	}
+	got, _, err := st.PutTrace(hr.Body)
+	if err != nil {
+		return err
+	}
+	if got != key {
+		st.RemoveTrace(got)
+		return fmt.Errorf("farm: trace %.12s: server sent content %.12s (corrupt transfer?)", key, got)
+	}
+	return nil
+}

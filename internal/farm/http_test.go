@@ -1,0 +1,113 @@
+package farm_test
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"barrierpoint/internal/farm"
+	"barrierpoint/internal/store"
+)
+
+// TestHTTPWorkerRoundTrip drives the full worker protocol over real HTTP:
+// register, lease, fetch the trace into a separate worker-local store,
+// heartbeat, simulate, upload — and checks the ticket resolves with the
+// same result a server-local execution produces.
+func TestHTTPWorkerRoundTrip(t *testing.T) {
+	st, key := newTestStore(t)
+	q := farm.NewQueue(st, farm.Config{LeaseTTL: 5 * time.Second})
+	defer q.Close()
+	srv := httptest.NewServer(farm.NewServer(q, st))
+	defer srv.Close()
+
+	tk, err := q.Enqueue(spec(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := &farm.Client{Base: srv.URL}
+	if err := c.Register("http-test-worker"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Worker == "" || c.LeaseTTL != 5*time.Second {
+		t.Fatalf("registration: worker %q ttl %v", c.Worker, c.LeaseTTL)
+	}
+
+	tasks, err := c.Lease(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 1 {
+		t.Fatalf("leased %d tasks, want 1", len(tasks))
+	}
+	task := tasks[0]
+
+	// The worker's own store starts empty; the trace arrives over HTTP
+	// and is verified against its content key. A second fetch is a no-op.
+	wst, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FetchTrace(wst, task.TraceKey); err != nil {
+		t.Fatal(err)
+	}
+	if !wst.HasTrace(key) {
+		t.Fatal("trace not in worker store after fetch")
+	}
+	if err := c.FetchTrace(wst, task.TraceKey); err != nil {
+		t.Fatalf("re-fetch: %v", err)
+	}
+
+	if dropped, err := c.Heartbeat([]string{task.ID}); err != nil || len(dropped) != 0 {
+		t.Fatalf("heartbeat: dropped %v err %v", dropped, err)
+	}
+
+	res, err := farm.ExecuteTask(wst, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Complete(task.ID, res); err != nil {
+		t.Fatal(err)
+	}
+	got, err := waitTicket(t, tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := farm.ExecuteTask(st, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cycles != want.Cycles || got.Counters != want.Counters {
+		t.Fatalf("HTTP result %+v != local %+v", got, want)
+	}
+
+	// Fleet status reflects the worker and its completion.
+	workers := q.Workers()
+	if len(workers) != 1 || workers[0].Name != "http-test-worker" || workers[0].Completed != 1 {
+		t.Fatalf("workers: %+v", workers)
+	}
+
+	// Failure reporting for a task leased later: lease a second region,
+	// report an error, and confirm the attempt is logged.
+	sp := spec(key)
+	sp.Region = 2
+	if _, err := q.Enqueue(sp); err != nil {
+		t.Fatal(err)
+	}
+	tasks, err = c.Lease(1)
+	if err != nil || len(tasks) != 1 {
+		t.Fatalf("second lease: %v (%d tasks)", err, len(tasks))
+	}
+	if err := c.Fail(tasks[0].ID, "simulated worker error"); err != nil {
+		t.Fatal(err)
+	}
+	if s := q.Stats(); s.Retries != 1 {
+		t.Fatalf("fail not logged: %+v", s)
+	}
+
+	// Unknown trace fetches are clean errors, not junk stores.
+	badKey := "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"
+	if err := c.FetchTrace(wst, badKey); err == nil {
+		t.Fatal("fetch of unknown trace should fail")
+	}
+}

@@ -1,0 +1,544 @@
+package farm
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	bp "barrierpoint"
+	"barrierpoint/internal/store"
+)
+
+// Errors surfaced by the queue.
+var (
+	// ErrClosed reports that the queue was shut down while a task was
+	// still outstanding; its waiters fail promptly instead of hanging
+	// until lease TTLs expire.
+	ErrClosed = errors.New("farm: queue closed")
+	// ErrUnknownTask reports a result or heartbeat for a task id the
+	// queue does not hold (never enqueued, or pruned after completion in
+	// a previous process life).
+	ErrUnknownTask = errors.New("farm: unknown task")
+	// ErrBadResult reports a Complete payload that does not parse as a
+	// RegionResult — a client bug, as opposed to a server-side store
+	// failure.
+	ErrBadResult = errors.New("farm: bad result payload")
+)
+
+// Spec describes one point-simulation task to enqueue: simulate region
+// Region of the stored trace TraceKey on the Table I machine with Sockets
+// sockets under the Warmup mode (a bp.ParseWarmup label).
+type Spec struct {
+	TraceKey string
+	Region   int
+	Sockets  int
+	Warmup   string
+}
+
+// Task is the wire form of a leased task handed to a worker.
+type Task struct {
+	ID       string `json:"id"`
+	TraceKey string `json:"trace"`
+	Region   int    `json:"region"`
+	Sockets  int    `json:"sockets"`
+	Warmup   string `json:"warmup"`
+	// Artifact is the store artifact name the result will be filed under;
+	// informational for workers, authoritative for the server.
+	Artifact string `json:"artifact"`
+	// Attempt is 1 for the first lease, incremented per retry.
+	Attempt int `json:"attempt"`
+}
+
+// task is the queue's internal task state.
+type task struct {
+	Task
+	dedup    string
+	leased   bool
+	worker   string
+	expires  time.Time
+	failures []string
+	ticket   *Ticket
+}
+
+// Ticket is a handle on an enqueued task's eventual result. Tasks
+// deduplicated onto the same underlying work share one ticket.
+type Ticket struct {
+	// Region is the task's region index, for assembling result maps.
+	Region int
+
+	done   chan struct{}
+	res    bp.RegionResult
+	err    error
+	cached bool
+}
+
+// Done is closed when the result (or a permanent failure) is available.
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// Result returns the simulated region result; it must only be called
+// after Done is closed.
+func (t *Ticket) Result() (bp.RegionResult, error) { return t.res, t.err }
+
+// Cached reports that the result came straight from the store without any
+// task being queued; it must only be called after Done is closed.
+func (t *Ticket) Cached() bool { return t.cached }
+
+// WorkerInfo is a point-in-time view of one registered worker.
+type WorkerInfo struct {
+	ID        string    `json:"id"`
+	Name      string    `json:"name"`
+	LastSeen  time.Time `json:"last_seen"`
+	Leased    int       `json:"leased"`
+	Completed int64     `json:"completed"`
+	Failed    int64     `json:"failed"`
+}
+
+type workerState struct {
+	info WorkerInfo
+}
+
+// Stats counts queue activity since construction.
+type Stats struct {
+	Enqueued      int64 `json:"tasks_enqueued"`
+	DedupStore    int64 `json:"dedup_store_hits"`
+	DedupInflight int64 `json:"dedup_inflight_hits"`
+	Completed     int64 `json:"tasks_completed"`
+	Failed        int64 `json:"tasks_failed"`
+	Expired       int64 `json:"leases_expired"`
+	Retries       int64 `json:"task_retries"`
+	RequeuedClose int64 `json:"requeued_on_close"`
+	Pending       int   `json:"tasks_pending"`
+	Leased        int   `json:"tasks_leased"`
+	LiveWorkers   int   `json:"live_workers"`
+}
+
+// Config tunes a Queue.
+type Config struct {
+	// LeaseTTL is how long a lease lasts without a heartbeat (30s if 0).
+	LeaseTTL time.Duration
+	// MaxAttempts bounds lease handouts per task before it fails
+	// permanently (3 if 0).
+	MaxAttempts int
+	// SweepEvery is the expired-lease scan interval (LeaseTTL/4 if 0).
+	SweepEvery time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 30 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.SweepEvery <= 0 {
+		c.SweepEvery = c.LeaseTTL / 4
+	}
+	return c
+}
+
+// Queue is a lease-based work queue of point-simulation tasks over one
+// content-addressed store. All methods are safe for concurrent use. The
+// queue is in-memory: tasks do not survive a server restart, but their
+// results do — completed work lands in the store, so a restarted server
+// re-enqueues only the points that never finished.
+type Queue struct {
+	st  *store.Store
+	cfg Config
+
+	mu      sync.Mutex
+	tasks   map[string]*task // live (queued or leased) tasks by id
+	pending []*task          // FIFO of queued tasks
+	byDedup map[string]*task // dedup key → live task
+	workers map[string]*workerState
+	seq     int
+	wseq    int
+	closed  bool
+
+	stats     Stats
+	stopSweep chan struct{}
+	sweepDone chan struct{}
+}
+
+// NewQueue creates a queue over st and starts its expired-lease sweeper.
+func NewQueue(st *store.Store, cfg Config) *Queue {
+	q := &Queue{
+		st:        st,
+		cfg:       cfg.withDefaults(),
+		tasks:     make(map[string]*task),
+		byDedup:   make(map[string]*task),
+		workers:   make(map[string]*workerState),
+		stopSweep: make(chan struct{}),
+		sweepDone: make(chan struct{}),
+	}
+	go q.sweep()
+	return q
+}
+
+// LeaseTTL returns the queue's lease duration.
+func (q *Queue) LeaseTTL() time.Duration { return q.cfg.LeaseTTL }
+
+func (q *Queue) sweep() {
+	defer close(q.sweepDone)
+	tick := time.NewTicker(q.cfg.SweepEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-q.stopSweep:
+			return
+		case <-tick.C:
+			q.mu.Lock()
+			q.requeueExpiredLocked(time.Now())
+			q.mu.Unlock()
+		}
+	}
+}
+
+// requeueExpiredLocked returns expired leases to the pending queue (or
+// fails tasks out of attempts); q.mu must be held.
+func (q *Queue) requeueExpiredLocked(now time.Time) {
+	for _, t := range q.tasks {
+		if !t.leased || now.Before(t.expires) {
+			continue
+		}
+		q.stats.Expired++
+		msg := fmt.Sprintf("attempt %d: lease expired on worker %s", t.Attempt, t.worker)
+		q.endAttemptLocked(t, msg)
+	}
+}
+
+// endAttemptLocked records a failed attempt and either requeues the task
+// or fails it permanently; q.mu must be held.
+func (q *Queue) endAttemptLocked(t *task, msg string) {
+	t.failures = append(t.failures, msg)
+	t.leased = false
+	t.worker = ""
+	if t.Attempt >= q.cfg.MaxAttempts {
+		q.finishLocked(t, bp.RegionResult{}, fmt.Errorf(
+			"farm: task %s (trace %.12s region %d) failed after %d attempts: %s",
+			t.ID, t.TraceKey, t.Region, t.Attempt, joinFailures(t.failures)))
+		q.stats.Failed++
+		return
+	}
+	q.stats.Retries++
+	q.pending = append(q.pending, t)
+}
+
+func joinFailures(fs []string) string {
+	out := ""
+	for i, f := range fs {
+		if i > 0 {
+			out += "; "
+		}
+		out += f
+	}
+	return out
+}
+
+// finishLocked resolves a live task's ticket and forgets the task;
+// q.mu must be held.
+func (q *Queue) finishLocked(t *task, res bp.RegionResult, err error) {
+	delete(q.tasks, t.ID)
+	delete(q.byDedup, t.dedup)
+	// The task may still sit in pending (failed via Fail while queued, or
+	// closed); lazily skipped on lease because q.tasks no longer holds it.
+	t.ticket.res = res
+	t.ticket.err = err
+	close(t.ticket.done)
+}
+
+// Enqueue places a task on the queue, deduplicating against the store
+// (a cached point result resolves the ticket immediately) and against
+// identical live tasks (the existing ticket is shared).
+func (q *Queue) Enqueue(sp Spec) (*Ticket, error) {
+	mc := bp.TableIMachine(sp.Sockets)
+	if _, err := bp.ParseWarmup(sp.Warmup); err != nil {
+		return nil, err
+	}
+	artifact := PointArtifact(sp.Region, mc, sp.Warmup)
+	dedup := sp.TraceKey + "|" + artifact
+
+	// Store dedup outside the lock: reads are cheap and idempotent.
+	if b, err := q.st.GetArtifact(sp.TraceKey, artifact); err == nil {
+		var res bp.RegionResult
+		if err := json.Unmarshal(b, &res); err == nil {
+			q.mu.Lock()
+			q.stats.DedupStore++
+			q.mu.Unlock()
+			tk := &Ticket{Region: sp.Region, done: make(chan struct{}), res: res, cached: true}
+			close(tk.done)
+			return tk, nil
+		}
+		// Unparseable artifact: fall through and recompute (the fresh
+		// result overwrites it).
+	} else if !errors.Is(err, store.ErrNotFound) {
+		return nil, err
+	}
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, ErrClosed
+	}
+	if t, ok := q.byDedup[dedup]; ok {
+		q.stats.DedupInflight++
+		return t.ticket, nil
+	}
+	q.seq++
+	t := &task{
+		Task: Task{
+			ID:       fmt.Sprintf("task-%06d", q.seq),
+			TraceKey: sp.TraceKey,
+			Region:   sp.Region,
+			Sockets:  sp.Sockets,
+			Warmup:   sp.Warmup,
+			Artifact: artifact,
+		},
+		dedup:  dedup,
+		ticket: &Ticket{Region: sp.Region, done: make(chan struct{})},
+	}
+	q.tasks[t.ID] = t
+	q.byDedup[dedup] = t
+	q.pending = append(q.pending, t)
+	q.stats.Enqueued++
+	return t.ticket, nil
+}
+
+// Register adds a worker and returns its id. Registration is advisory —
+// leasing with an unknown id auto-registers — but gives the worker a
+// stable, named identity in /farm/workers.
+func (q *Queue) Register(name string) string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.wseq++
+	id := fmt.Sprintf("w-%06d", q.wseq)
+	q.workers[id] = &workerState{info: WorkerInfo{ID: id, Name: name, LastSeen: time.Now()}}
+	return id
+}
+
+func (q *Queue) touchWorkerLocked(id string, now time.Time) *workerState {
+	w, ok := q.workers[id]
+	if !ok {
+		w = &workerState{info: WorkerInfo{ID: id, Name: id}}
+		q.workers[id] = w
+	}
+	w.info.LastSeen = now
+	return w
+}
+
+// Lease hands the worker up to max queued tasks, each leased for
+// LeaseTTL. An empty slice means no work is available right now.
+func (q *Queue) Lease(workerID string, max int) []Task {
+	if max <= 0 {
+		max = 1
+	}
+	now := time.Now()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil
+	}
+	q.touchWorkerLocked(workerID, now)
+	q.requeueExpiredLocked(now)
+	var out []Task
+	for len(out) < max && len(q.pending) > 0 {
+		t := q.pending[0]
+		q.pending = q.pending[1:]
+		if q.tasks[t.ID] != t || t.leased {
+			continue // finished or re-leased since it entered pending
+		}
+		t.leased = true
+		t.worker = workerID
+		t.expires = now.Add(q.cfg.LeaseTTL)
+		t.Attempt++
+		out = append(out, t.Task)
+	}
+	return out
+}
+
+// Heartbeat renews the worker's leases on the listed tasks. Tasks the
+// queue no longer recognizes as leased to this worker come back in
+// dropped: the worker should abandon them.
+func (q *Queue) Heartbeat(workerID string, ids []string) (renewed, dropped []string) {
+	now := time.Now()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.touchWorkerLocked(workerID, now)
+	for _, id := range ids {
+		t, ok := q.tasks[id]
+		if !ok || !t.leased || t.worker != workerID {
+			dropped = append(dropped, id)
+			continue
+		}
+		t.expires = now.Add(q.cfg.LeaseTTL)
+		renewed = append(renewed, id)
+	}
+	return renewed, dropped
+}
+
+// Complete uploads a task's result. Uploads are idempotent and accepted
+// from any worker — simulation is deterministic, so a late result from an
+// expired lease is identical to the one that will be (or was) accepted.
+// The result is stored as a point artifact before waiters wake, so future
+// runs dedup against it.
+func (q *Queue) Complete(workerID, id string, resultJSON []byte) error {
+	var res bp.RegionResult
+	if err := json.Unmarshal(resultJSON, &res); err != nil {
+		return fmt.Errorf("task %s: %w: %v", id, ErrBadResult, err)
+	}
+	q.mu.Lock()
+	w := q.touchWorkerLocked(workerID, time.Now())
+	t, live := q.tasks[id]
+	q.mu.Unlock()
+	if !live {
+		// Already completed (duplicate upload) or never known. Both are
+		// acknowledged: the caller did valid work either way, and
+		// distinguishing them would require unbounded task history.
+		return nil
+	}
+	// Store before resolving so a waiter that re-enqueues immediately
+	// sees the artifact.
+	if err := q.st.PutArtifact(t.TraceKey, t.Artifact, resultJSON); err != nil {
+		return err
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if cur, ok := q.tasks[id]; !ok || cur != t {
+		return nil // raced with another completion
+	}
+	q.stats.Completed++
+	w.info.Completed++
+	q.finishLocked(t, res, nil)
+	return nil
+}
+
+// Fail reports that the worker could not complete the task. The failure
+// is logged on the task, which is retried unless out of attempts.
+func (q *Queue) Fail(workerID, id, msg string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	w := q.touchWorkerLocked(workerID, time.Now())
+	t, ok := q.tasks[id]
+	if !ok {
+		return nil // completed elsewhere, or duplicate failure report
+	}
+	if !t.leased || t.worker != workerID {
+		// Not this worker's current lease: either it expired and was
+		// already requeued (the expiry logged the attempt), or the task
+		// was reassigned. The current lease's outcome governs.
+		return nil
+	}
+	w.info.Failed++
+	q.endAttemptLocked(t, fmt.Sprintf("attempt %d on worker %s: %s", t.Attempt, workerID, msg))
+	return nil
+}
+
+// LiveWorkers counts workers seen within three lease TTLs — the signal
+// the service layer uses to fall back to local execution when the fleet
+// is empty.
+func (q *Queue) LiveWorkers() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.liveWorkersLocked(time.Now())
+}
+
+func (q *Queue) liveWorkersLocked(now time.Time) int {
+	live := 0
+	window := 3 * q.cfg.LeaseTTL
+	for _, w := range q.workers {
+		if now.Sub(w.info.LastSeen) <= window {
+			live++
+		}
+	}
+	return live
+}
+
+// Workers lists registered workers, most recently seen first.
+func (q *Queue) Workers() []WorkerInfo {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]WorkerInfo, 0, len(q.workers))
+	for _, w := range q.workers {
+		info := w.info
+		for _, t := range q.tasks {
+			if t.leased && t.worker == info.ID {
+				info.Leased++
+			}
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].LastSeen.Equal(out[j].LastSeen) {
+			return out[i].LastSeen.After(out[j].LastSeen)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Stats returns activity counters and current queue depths.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	s := q.stats
+	for _, t := range q.tasks {
+		if t.leased {
+			s.Leased++
+		} else {
+			s.Pending++
+		}
+	}
+	s.LiveWorkers = q.liveWorkersLocked(time.Now())
+	return s
+}
+
+// Close shuts the queue down: leased tasks are requeued (counted in
+// Stats.RequeuedClose — with an in-memory queue this matters for
+// accounting and symmetry with a future persistent queue, not for
+// recovery), every outstanding ticket fails promptly with ErrClosed, and
+// the sweeper stops. Close is idempotent. Completed results remain in the
+// store, so re-running the same jobs after a restart redoes only the
+// points that never finished.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		<-q.sweepDone
+		return
+	}
+	q.closed = true
+	for _, t := range q.tasks {
+		if t.leased {
+			q.stats.RequeuedClose++
+			t.leased = false
+			t.worker = ""
+		}
+		q.finishLocked(t, bp.RegionResult{}, ErrClosed)
+	}
+	q.pending = nil
+	close(q.stopSweep)
+	q.mu.Unlock()
+	<-q.sweepDone
+}
+
+// WaitAll blocks until every ticket resolves or ctx is done, assembling
+// the per-region result map the reconstruction stage consumes.
+func WaitAll(ctx context.Context, tickets []*Ticket) (map[int]bp.RegionResult, error) {
+	out := make(map[int]bp.RegionResult, len(tickets))
+	for _, tk := range tickets {
+		select {
+		case <-tk.Done():
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		res, err := tk.Result()
+		if err != nil {
+			return nil, err
+		}
+		out[tk.Region] = res
+	}
+	return out, nil
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	bp "barrierpoint"
+	"barrierpoint/internal/farm"
 	"barrierpoint/internal/store"
 )
 
@@ -53,6 +54,11 @@ type Request struct {
 	// Warmup is the estimate warmup mode: "cold" (default), "mru" or
 	// "mru+prev".
 	Warmup string `json:"warmup,omitempty"`
+	// Exec selects how an estimate's barrierpoint simulations run:
+	// "auto" (default: farm when live workers are registered, local
+	// otherwise), "local" (in-process pool), or "farm" (force the
+	// distributed queue; such a job waits for workers to join).
+	Exec string `json:"exec,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of a job's state, safe to serialize.
@@ -81,6 +87,7 @@ type Stats struct {
 	Failed       int64 `json:"jobs_failed"`
 	CacheHits    int64 `json:"cache_hits"`
 	ColdAnalyses int64 `json:"cold_analyses"`
+	Farmed       int64 `json:"jobs_farmed"`
 }
 
 // Errors returned by Submit.
@@ -118,6 +125,7 @@ const maxRetained = 1024
 // (trace, parameters).
 type Manager struct {
 	st    *store.Store
+	farm  *farm.Queue // nil until SetFarm; estimates then stay local
 	queue chan *job
 	wg    sync.WaitGroup
 
@@ -128,7 +136,7 @@ type Manager struct {
 	seq      int
 	closed   bool
 
-	submitted, deduped, done, failed, cacheHits, coldAnalyses atomic.Int64
+	submitted, deduped, done, failed, cacheHits, coldAnalyses, farmed atomic.Int64
 }
 
 // New starts a manager with the given worker count (GOMAXPROCS if <= 0)
@@ -161,6 +169,15 @@ func New(st *store.Store, workers, depth int) *Manager {
 // Store returns the manager's artifact store.
 func (m *Manager) Store() *store.Store { return m.st }
 
+// SetFarm attaches a distributed work queue; estimates may then farm
+// their barrierpoint simulations out to registered workers. Call it once,
+// before the first Submit.
+func (m *Manager) SetFarm(q *farm.Queue) { m.farm = q }
+
+// Farm returns the attached work queue, or nil when execution is
+// local-only.
+func (m *Manager) Farm() *farm.Queue { return m.farm }
+
 // Stats returns activity counters.
 func (m *Manager) Stats() Stats {
 	return Stats{
@@ -170,6 +187,7 @@ func (m *Manager) Stats() Stats {
 		Failed:       m.failed.Load(),
 		CacheHits:    m.cacheHits.Load(),
 		ColdAnalyses: m.coldAnalyses.Load(),
+		Farmed:       m.farmed.Load(),
 	}
 }
 
@@ -191,6 +209,22 @@ func (m *Manager) validate(req Request) (bp.Config, bp.WarmupMode, string, error
 	if err != nil {
 		return bp.Config{}, 0, "", err
 	}
+	switch req.Exec {
+	case "", ExecAuto, ExecLocal:
+	case ExecFarm:
+		if req.Kind != KindEstimate {
+			// Analyze is one profiling pass and simulate is a sequential
+			// ground-truth run — neither decomposes into farmable points.
+			// Rejecting rather than silently running locally keeps the
+			// API honest.
+			return bp.Config{}, 0, "", fmt.Errorf("service: exec %q applies only to estimate jobs, not %q", req.Exec, req.Kind)
+		}
+		if m.farm == nil {
+			return bp.Config{}, 0, "", errors.New("service: farm execution requested but no farm queue is attached")
+		}
+	default:
+		return bp.Config{}, 0, "", fmt.Errorf("service: unknown exec mode %q (want auto, local or farm)", req.Exec)
+	}
 	var dedup string
 	switch req.Kind {
 	case KindAnalyze:
@@ -209,12 +243,30 @@ func (m *Manager) validate(req Request) (bp.Config, bp.WarmupMode, string, error
 		if req.Kind == KindSimulate {
 			dedup = fmt.Sprintf("%s|%s|%d", req.Kind, req.Trace, mc.Sockets)
 		} else {
-			dedup = fmt.Sprintf("%s|%s|%s|%d|%s", req.Kind, req.Trace, hashJSON(cfg), mc.Sockets, mode)
+			// Exec modes produce bit-identical results but very different
+			// latencies (a forced farm job waits for workers), so they do
+			// not coalesce; the estimate artifact still dedups the actual
+			// compute across modes.
+			dedup = fmt.Sprintf("%s|%s|%s|%d|%s|%s", req.Kind, req.Trace, hashJSON(cfg), mc.Sockets, mode, normalizeExec(req.Exec))
 		}
 	default:
 		return bp.Config{}, 0, "", fmt.Errorf("service: unknown job kind %q", req.Kind)
 	}
 	return cfg, mode, dedup, nil
+}
+
+// Exec mode labels for Request.Exec.
+const (
+	ExecAuto  = "auto"
+	ExecLocal = "local"
+	ExecFarm  = "farm"
+)
+
+func normalizeExec(s string) string {
+	if s == "" {
+		return ExecAuto
+	}
+	return s
 }
 
 // Submit queues a job, or returns the in-flight job already running the
@@ -297,7 +349,14 @@ func (m *Manager) Wait(ctx context.Context, id string) (Snapshot, error) {
 }
 
 // Shutdown stops accepting jobs, lets queued and running jobs finish, and
-// returns when the pool has drained or ctx expires.
+// returns when the pool has drained or ctx expires. During the drain the
+// farm queue (if attached) keeps leasing and accepting results, so
+// in-flight farmed jobs finish normally as workers stream their tasks
+// back. If ctx expires first, the farm queue is closed: leased tasks are
+// requeued and every farmed job blocked on them fails promptly with
+// farm.ErrClosed instead of hanging until lease TTLs expire — their
+// completed points are already cached in the store, so a retry after
+// restart redoes only the unfinished ones.
 func (m *Manager) Shutdown(ctx context.Context) error {
 	m.mu.Lock()
 	if !m.closed {
@@ -312,10 +371,22 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-drained:
+		if m.farm != nil {
+			m.farm.Close()
+		}
 		return nil
 	case <-ctx.Done():
-		return ctx.Err()
 	}
+	if m.farm != nil {
+		m.farm.Close()
+		// Closing the queue unblocks farm waits; give the pool a short
+		// grace to observe the failures and drain cleanly.
+		select {
+		case <-drained:
+		case <-time.After(time.Second):
+		}
+	}
+	return ctx.Err()
 }
 
 // pruneLocked evicts the oldest terminal jobs past the retention bound;
@@ -433,7 +504,7 @@ func (m *Manager) execute(j *job) (json.RawMessage, bool, error) {
 		if err != nil {
 			return nil, false, err
 		}
-		est, err := a.Estimate(mc, j.mode)
+		est, err := a.EstimateWith(m.pointRunner(j), mc, j.mode)
 		if err != nil {
 			return nil, false, err
 		}
@@ -464,6 +535,27 @@ func (m *Manager) execute(j *job) (json.RawMessage, bool, error) {
 	default:
 		return nil, false, fmt.Errorf("service: unknown job kind %q", j.req.Kind)
 	}
+}
+
+// pointRunner picks the execution strategy for a job's barrierpoint
+// simulations: the distributed queue when the job forces it or when auto
+// mode sees live workers, otherwise the local pool — in both cases behind
+// the store's per-point result cache, so farm runs, local runs and bptool
+// -cache runs all share per-point work. Farm tasks themselves dedup
+// against the same artifacts inside the queue.
+func (m *Manager) pointRunner(j *job) bp.PointRunner {
+	useFarm := false
+	switch normalizeExec(j.req.Exec) {
+	case ExecFarm:
+		useFarm = m.farm != nil
+	case ExecAuto:
+		useFarm = m.farm != nil && m.farm.LiveWorkers() > 0
+	}
+	if useFarm {
+		m.farmed.Add(1)
+		return farm.QueueRunner{Q: m.farm, TraceKey: j.req.Trace}
+	}
+	return &farm.CachedRunner{St: m.st, TraceKey: j.req.Trace, Inner: bp.LocalRunner{}}
 }
 
 // putResult serializes, caches and returns a job result artifact.

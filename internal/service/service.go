@@ -27,12 +27,8 @@ package service
 
 import (
 	"bytes"
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"strings"
 	"sync"
 
 	bp "barrierpoint"
@@ -45,18 +41,8 @@ import (
 // only caller of profile.Program in this path).
 var analyzeFn = bp.Analyze
 
-// hashJSON returns the first 12 hex digits of the SHA-256 of v's canonical
-// JSON encoding. Configs here are flat structs of scalars, so encoding is
-// deterministic.
-func hashJSON(v any) string {
-	b, err := json.Marshal(v)
-	if err != nil {
-		// All config types marshal; a failure is a programming error.
-		panic(fmt.Sprintf("service: marshaling config: %v", err))
-	}
-	sum := sha256.Sum256(b)
-	return hex.EncodeToString(sum[:])[:12]
-}
+// hashJSON is the store-wide artifact config hash (see store.HashJSON).
+func hashJSON(v any) string { return store.HashJSON(v) }
 
 // SelectionArtifact names the cached selection artifact for an analysis
 // config.
@@ -78,29 +64,13 @@ func ActualArtifact(mc bp.MachineConfig) string {
 
 // sanitize maps a label onto the store's artifact-name charset ("mru+prev"
 // → "mru-prev").
-func sanitize(s string) string {
-	return strings.Map(func(r rune) rune {
-		switch {
-		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '.', r == '_', r == '-':
-			return r
-		default:
-			return '-'
-		}
-	}, s)
-}
+func sanitize(s string) string { return store.SanitizeLabel(s) }
 
 // ParseWarmup parses a warmup mode label as printed by WarmupMode.String.
+// It delegates to bp.ParseWarmup so the CLI, service and farm protocols
+// share one vocabulary.
 func ParseWarmup(s string) (bp.WarmupMode, error) {
-	switch s {
-	case "", "cold":
-		return bp.ColdWarmup, nil
-	case "mru":
-		return bp.MRUWarmup, nil
-	case "mru+prev":
-		return bp.MRUPrevWarmup, nil
-	default:
-		return 0, fmt.Errorf("service: unknown warmup mode %q (want cold, mru or mru+prev)", s)
-	}
+	return bp.ParseWarmup(s)
 }
 
 // ParseSignature maps a signature label ("bbv", "reuse_dist", "combine")

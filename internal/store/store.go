@@ -28,6 +28,7 @@ package store
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -35,6 +36,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"sort"
+	"strings"
 
 	"barrierpoint/internal/tracefile"
 )
@@ -52,6 +54,34 @@ var (
 
 // ValidKey reports whether k is a well-formed trace key.
 func ValidKey(k string) bool { return keyRe.MatchString(k) }
+
+// HashJSON returns the first 12 hex digits of the SHA-256 of v's
+// canonical JSON encoding: the store-wide convention for embedding a
+// config's identity in an artifact name (see internal/service and
+// internal/farm for the naming schemes). Configs are flat structs of
+// scalars, so encoding is deterministic.
+func HashJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// All config types marshal; a failure is a programming error.
+		panic(fmt.Sprintf("store: marshaling config: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])[:12]
+}
+
+// SanitizeLabel maps a label onto the artifact-name charset ("mru+prev"
+// → "mru-prev") so mode strings can appear in artifact names.
+func SanitizeLabel(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '.', r == '_', r == '-':
+			return r
+		default:
+			return '-'
+		}
+	}, s)
+}
 
 // ReaderKey computes the content key of a trace read from r.
 func ReaderKey(r io.Reader) (string, error) {
