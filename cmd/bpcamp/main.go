@@ -1,0 +1,153 @@
+// Command bpcamp runs a declarative sweep campaign — workloads × thread
+// counts × machine configs × warmup modes × signature variants — through
+// the analysis service over a content-addressed store, resumably: progress
+// lands in a manifest after every completed cell, so a killed campaign
+// picks up where it stopped, and finished cells are never recomputed.
+//
+// Usage:
+//
+//	bpcamp -spec sweep.json -store /var/lib/bpstore
+//	bpcamp -spec sweep.json -store /var/lib/bpstore -format markdown
+//	bpcamp -spec sweep.json -store /var/lib/bpstore -exec farm -farm-workers 4
+//	bpcamp -spec sweep.json -store /var/lib/bpstore -max-cells 3   # chunked run
+//	bpcamp -store /var/lib/bpstore -list                           # saved manifests
+//
+// The matrix goes to stdout; per-cell progress and the resume summary go
+// to stderr, so stdout is byte-comparable across interrupted, resumed,
+// local and farmed runs of the same spec.
+//
+// See internal/campaign for the spec and manifest formats.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"barrierpoint/internal/campaign"
+	"barrierpoint/internal/farm"
+	"barrierpoint/internal/service"
+	"barrierpoint/internal/store"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "bpcamp: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags and executes the campaign; it is the testable entry
+// point of the tool.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bpcamp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		specPath    = fs.String("spec", "", "campaign spec JSON file (required; see internal/campaign)")
+		storeDir    = fs.String("store", "", "content-addressed store directory (required; shared with bptool -cache and bpserve)")
+		format      = fs.String("format", "text", "matrix output format: text, markdown or json")
+		execMode    = fs.String("exec", "", "override the spec's exec mode: auto, local or farm")
+		workers     = fs.Int("workers", 0, "service worker pool size (default GOMAXPROCS)")
+		farmWorkers = fs.Int("farm-workers", 0, "in-process farm workers (lets exec=farm run without an external fleet)")
+		maxCells    = fs.Int("max-cells", 0, "stop after computing this many new cells (0 = run to completion); the manifest keeps progress for a later resume")
+		quiet       = fs.Bool("q", false, "suppress per-cell progress on stderr")
+		list        = fs.Bool("list", false, "list the campaign manifests saved in -store and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	// Validate cheap inputs before any expensive work: a typo'd format
+	// must fail now, not after the sweep has run.
+	switch *format {
+	case "", "text", "markdown", "json":
+	default:
+		return fmt.Errorf("unknown output format %q (want text, markdown or json)", *format)
+	}
+	if *list {
+		if *storeDir == "" {
+			fs.Usage()
+			return fmt.Errorf("-list requires -store")
+		}
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			return err
+		}
+		names, err := st.Campaigns()
+		if err != nil {
+			return err
+		}
+		for _, n := range names {
+			fmt.Fprintln(stdout, n)
+		}
+		return nil
+	}
+	if *specPath == "" || *storeDir == "" {
+		fs.Usage()
+		return fmt.Errorf("both -spec and -store are required")
+	}
+
+	f, err := os.Open(*specPath)
+	if err != nil {
+		return err
+	}
+	spec, err := campaign.Load(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if *execMode != "" {
+		spec.Exec = *execMode
+		if err := spec.Validate(); err != nil {
+			return err
+		}
+	}
+	// A standalone bpcamp has no HTTP endpoint for external workers to
+	// join, so a farm-forced campaign without in-process workers would
+	// wait forever. Fail up front instead.
+	if spec.Exec == service.ExecFarm && *farmWorkers <= 0 {
+		return fmt.Errorf("exec=farm needs -farm-workers N (bpcamp has no endpoint for an external fleet; use bpserve + bpworker for that)")
+	}
+
+	st, err := store.Open(*storeDir)
+	if err != nil {
+		return err
+	}
+	m := service.New(st, *workers, 0)
+	defer m.Shutdown(context.Background())
+	if *farmWorkers > 0 {
+		q := farm.NewQueue(st, farm.Config{})
+		m.SetFarm(q)
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		for i := 0; i < *farmWorkers; i++ {
+			go farm.RunLocalWorker(ctx, q, st, fmt.Sprintf("bpcamp-%d", i))
+		}
+	}
+
+	progress := io.Writer(stderr)
+	if *quiet {
+		progress = io.Discard
+	}
+	r := &campaign.Runner{
+		Store:    st,
+		Cells:    &campaign.ServiceRunner{M: m, Exec: spec.Exec},
+		Log:      progress,
+		MaxCells: *maxCells,
+	}
+	out, err := r.Run(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(progress, "campaign %s: %d cells resumed from manifest, %d computed\n",
+		spec.Name, out.Resumed, out.Computed)
+	if out.Incomplete {
+		fmt.Fprintf(progress, "campaign %s is incomplete (-max-cells); rerun to resume\n", spec.Name)
+	}
+	return campaign.RenderMatrix(stdout, out.Matrix(), *format)
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeSpec drops a spec file into a temp dir and returns its path.
+func writeSpec(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const miniSpec = `{
+  "name": "cli-mini",
+  "workloads": ["npb-is"],
+  "threads": [8],
+  "warmups": ["cold"],
+  "scale": 0.05
+}`
+
+func TestRunAndResume(t *testing.T) {
+	spec := writeSpec(t, miniSpec)
+	storeDir := t.TempDir()
+
+	var out1, err1 strings.Builder
+	if err := run([]string{"-spec", spec, "-store", storeDir, "-format", "json"}, &out1, &err1); err != nil {
+		t.Fatalf("first run: %v\nstderr:\n%s", err, err1.String())
+	}
+	if !strings.Contains(out1.String(), "Campaign cli-mini") {
+		t.Errorf("matrix title missing:\n%s", out1.String())
+	}
+	if !strings.Contains(err1.String(), "0 cells resumed from manifest, 1 computed") {
+		t.Errorf("first-run summary unexpected:\n%s", err1.String())
+	}
+
+	// Second run over the same store: everything resumes, stdout is
+	// byte-identical.
+	var out2, err2 strings.Builder
+	if err := run([]string{"-spec", spec, "-store", storeDir, "-format", "json"}, &out2, &err2); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if !strings.Contains(err2.String(), "1 cells resumed from manifest, 0 computed") {
+		t.Errorf("resume summary unexpected:\n%s", err2.String())
+	}
+	if out1.String() != out2.String() {
+		t.Errorf("resumed matrix differs:\n--- first ---\n%s\n--- second ---\n%s", out1.String(), out2.String())
+	}
+
+	// -list shows the saved manifest.
+	var outL, errL strings.Builder
+	if err := run([]string{"-store", storeDir, "-list"}, &outL, &errL); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(outL.String(), "cli-mini-") {
+		t.Errorf("-list output unexpected:\n%s", outL.String())
+	}
+
+	// -q silences progress but not the matrix.
+	var out3, err3 strings.Builder
+	if err := run([]string{"-spec", spec, "-store", storeDir, "-format", "json", "-q"}, &out3, &err3); err != nil {
+		t.Fatal(err)
+	}
+	if err3.Len() != 0 {
+		t.Errorf("-q left stderr output:\n%s", err3.String())
+	}
+	if out3.String() != out1.String() {
+		t.Error("-q changed the matrix output")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	storeDir := t.TempDir()
+	good := writeSpec(t, miniSpec)
+	cases := map[string]struct {
+		args []string
+		want string // substring the error must contain ("" = any)
+	}{
+		"missing-spec":       {[]string{"-store", storeDir}, "-spec"},
+		"missing-store":      {[]string{"-spec", good}, "-store"},
+		"bad-format":         {[]string{"-spec", good, "-store", storeDir, "-format", "yaml"}, "unknown output format"},
+		"bad-exec-flag":      {[]string{"-spec", good, "-store", storeDir, "-exec", "cluster"}, "unknown exec mode"},
+		"farm-no-workers":    {[]string{"-spec", good, "-store", storeDir, "-exec", "farm"}, "-farm-workers"},
+		"spec-zero-scale":    {[]string{"-spec", writeSpec(t, `{"workloads":["npb-is"],"threads":[8],"scale":-0.5}`), "-store", storeDir}, "scale must be > 0"},
+		"spec-unknown-bench": {[]string{"-spec", writeSpec(t, `{"workloads":["spec-gcc"],"threads":[8],"scale":0.05}`), "-store", storeDir}, `"spec-gcc"`},
+		"spec-typo-field":    {[]string{"-spec", writeSpec(t, `{"worloads":["npb-is"],"threads":[8]}`), "-store", storeDir}, "worloads"},
+		"spec-missing-file":  {[]string{"-spec", filepath.Join(storeDir, "nope.json"), "-store", storeDir}, ""},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			var out, errOut strings.Builder
+			err := run(tc.args, &out, &errOut)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error", tc.args)
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestMaxCellsChunksTheRun(t *testing.T) {
+	spec := writeSpec(t, `{
+  "name": "chunked",
+  "workloads": ["npb-is"],
+  "threads": [8],
+  "warmups": ["cold", "mru"],
+  "scale": 0.05
+}`)
+	storeDir := t.TempDir()
+
+	var out1, err1 strings.Builder
+	if err := run([]string{"-spec", spec, "-store", storeDir, "-max-cells", "1"}, &out1, &err1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(err1.String(), "incomplete") {
+		t.Errorf("chunked run did not report incompleteness:\n%s", err1.String())
+	}
+
+	var out2, err2 strings.Builder
+	if err := run([]string{"-spec", spec, "-store", storeDir}, &out2, &err2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(err2.String(), "1 cells resumed from manifest, 1 computed") {
+		t.Errorf("resume after chunked run unexpected:\n%s", err2.String())
+	}
+	if !strings.Contains(out2.String(), "over 2 cells") {
+		t.Errorf("final matrix incomplete:\n%s", out2.String())
+	}
+}

@@ -20,6 +20,7 @@ import (
 
 	"barrierpoint/internal/experiments"
 	"barrierpoint/internal/report"
+	"barrierpoint/internal/workload"
 )
 
 func main() {
@@ -49,9 +50,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	// Validate before constructing anything: a non-positive scale yields
+	// empty or degenerate workloads, and workload.New panics on unknown
+	// names deep inside an experiment.
+	if !(*scale > 0) { // also rejects NaN
+		return fmt.Errorf("-scale must be > 0, got %v", *scale)
+	}
 	h := experiments.New(*scale)
 	if *bench != "" {
-		h.Benches = strings.Split(*bench, ",")
+		names := strings.Split(*bench, ",")
+		for _, n := range names {
+			if !workload.Exists(n) {
+				return fmt.Errorf("unknown benchmark %q (known: %s)", n, strings.Join(workload.Names(), ", "))
+			}
+		}
+		h.Benches = names
 	}
 
 	render := func(t *report.Table) {

@@ -50,14 +50,29 @@ func TestFig1BenchSubset(t *testing.T) {
 
 func TestErrors(t *testing.T) {
 	for name, args := range map[string][]string{
-		"unknown-exp": {"-exp", "fig99"},
-		"no-args":     {},
-		"bad-flag":    {"-nope"},
+		"unknown-exp":    {"-exp", "fig99"},
+		"no-args":        {},
+		"bad-flag":       {"-nope"},
+		"zero-scale":     {"-exp", "table1", "-scale", "0"},
+		"negative-scale": {"-exp", "table1", "-scale", "-0.5"},
+		"nan-scale":      {"-exp", "table1", "-scale", "NaN"},
+		"unknown-bench":  {"-exp", "fig1", "-bench", "npb-ft,spec-gcc"},
 	} {
 		t.Run(name, func(t *testing.T) {
 			var out, errOut strings.Builder
-			if err := run(args, &out, &errOut); err == nil {
+			err := run(args, &out, &errOut)
+			if err == nil {
 				t.Fatalf("run(%v) succeeded, want error", args)
+			}
+			switch name {
+			case "zero-scale", "negative-scale", "nan-scale":
+				if !strings.Contains(err.Error(), "-scale must be > 0") {
+					t.Errorf("scale error not explicit: %v", err)
+				}
+			case "unknown-bench":
+				if !strings.Contains(err.Error(), `"spec-gcc"`) || !strings.Contains(err.Error(), "npb-ft") {
+					t.Errorf("unknown-bench error should name the bad value and the known set: %v", err)
+				}
 			}
 		})
 	}

@@ -1,0 +1,97 @@
+package campaign
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// golden compares got against testdata/<name>.golden, rewriting the file
+// when the test runs with -update (the internal/report convention).
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run `go test ./internal/campaign -update` to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output does not match %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// fixtureOutcome builds a deterministic 4-cell campaign with hand-written
+// metrics, exercising every matrix column plus the aggregate row.
+func fixtureOutcome() *Outcome {
+	spec := Spec{
+		Name:      "fixture",
+		Workloads: []string{"npb-ft", "npb-is"},
+		Threads:   []int{8, 32},
+		Warmups:   []string{"cold"},
+		Scale:     0.25,
+	}
+	spec.ApplyDefaults()
+	out := &Outcome{Spec: spec}
+	for i, c := range spec.Expand() {
+		f := float64(i + 1)
+		out.Cells = append(out.Cells, CellOutcome{c, CellResult{
+			TraceKey:        fmt.Sprintf("%064d", i),
+			EstTimeNs:       1.204e6 * f,
+			ActTimeNs:       1.25e6 * f,
+			EstAPKI:         0.50 * f,
+			ActAPKI:         0.45 * f,
+			RunErrPct:       1.55 * f,
+			APKIDelta:       0.05 * f,
+			SerialSpeedup:   10.4 * f,
+			ParallelSpeedup: 41.5 * f,
+		}})
+	}
+	return out
+}
+
+func render(t *testing.T, o *Outcome, format string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := RenderMatrix(&buf, o.Matrix(), format); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestGoldenMatrixText(t *testing.T) {
+	golden(t, "matrix_text", render(t, fixtureOutcome(), "text"))
+}
+
+func TestGoldenMatrixMarkdown(t *testing.T) {
+	golden(t, "matrix_markdown", render(t, fixtureOutcome(), "markdown"))
+}
+
+func TestGoldenMatrixJSON(t *testing.T) {
+	golden(t, "matrix_json", render(t, fixtureOutcome(), "json"))
+}
+
+func TestGoldenMatrixEmpty(t *testing.T) {
+	spec := fixtureOutcome().Spec
+	golden(t, "matrix_empty_json", render(t, &Outcome{Spec: spec}, "json"))
+}
+
+func TestRenderMatrixUnknownFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderMatrix(&buf, fixtureOutcome().Matrix(), "yaml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}

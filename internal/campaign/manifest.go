@@ -1,0 +1,105 @@
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"barrierpoint/internal/store"
+)
+
+// CellResult holds one completed cell's metrics. Everything here is a
+// pure function of store contents and cell coordinates — no timings, no
+// execution metadata — so resumed and farmed campaigns reproduce the same
+// results byte for byte.
+type CellResult struct {
+	// TraceKey is the content key of the trace the cell was computed
+	// from (empty for in-memory runners with no store).
+	TraceKey string `json:"trace_key,omitempty"`
+
+	EstTimeNs float64 `json:"est_time_ns"`
+	ActTimeNs float64 `json:"act_time_ns"`
+	EstAPKI   float64 `json:"est_apki"`
+	ActAPKI   float64 `json:"act_apki"`
+
+	// RunErrPct is the absolute runtime prediction error in percent
+	// (paper Figs. 4/7); APKIDelta the absolute DRAM APKI difference.
+	RunErrPct float64 `json:"run_err_pct"`
+	APKIDelta float64 `json:"apki_delta"`
+
+	// SerialSpeedup and ParallelSpeedup are the paper's Fig. 9
+	// instruction-count reductions for this cell's selection.
+	SerialSpeedup   float64 `json:"serial_speedup"`
+	ParallelSpeedup float64 `json:"parallel_speedup"`
+}
+
+// CellOutcome pairs a cell with its result.
+type CellOutcome struct {
+	Cell   Cell       `json:"cell"`
+	Result CellResult `json:"result"`
+}
+
+// Manifest is a campaign's durable progress record; see the package
+// documentation for the format and resume semantics.
+type Manifest struct {
+	Spec Spec   `json:"spec"`
+	Hash string `json:"hash"`
+	// Traces maps "<workload>/<threads>" to the content key of the trace
+	// recorded for that grid row, so a resumed campaign re-records
+	// nothing that is already in the store.
+	Traces map[string]string `json:"traces,omitempty"`
+	// Cells maps Cell.ID to the completed result.
+	Cells map[string]CellResult `json:"cells"`
+}
+
+// NewManifest returns an empty manifest for the spec.
+func NewManifest(spec Spec) *Manifest {
+	return &Manifest{
+		Spec:   spec,
+		Hash:   spec.Hash(),
+		Traces: map[string]string{},
+		Cells:  map[string]CellResult{},
+	}
+}
+
+// LoadManifest reads the spec's manifest from the store, returning a
+// fresh empty manifest when none has been written yet.
+func LoadManifest(st *store.Store, spec Spec) (*Manifest, error) {
+	b, err := st.GetCampaign(spec.ManifestName())
+	if errors.Is(err, store.ErrNotFound) {
+		return NewManifest(spec), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("campaign: manifest %s is corrupt: %w", spec.ManifestName(), err)
+	}
+	// The hash is embedded in the filename, so a mismatch means the file
+	// was tampered with or written by incompatible code — refuse to
+	// resume from it rather than silently recomputing or, worse, reusing
+	// cells from a different grid.
+	if m.Hash != spec.Hash() {
+		return nil, fmt.Errorf("campaign: manifest %s has hash %s, spec has %s — delete it to start over",
+			spec.ManifestName(), m.Hash, spec.Hash())
+	}
+	if m.Traces == nil {
+		m.Traces = map[string]string{}
+	}
+	if m.Cells == nil {
+		m.Cells = map[string]CellResult{}
+	}
+	return &m, nil
+}
+
+// Save atomically writes the manifest to the store (temp file + rename,
+// like every other store write), so a campaign killed mid-save leaves
+// either the previous manifest or the new one, never a torn file.
+func (m *Manifest) Save(st *store.Store) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("campaign: marshaling manifest: %w", err)
+	}
+	return st.PutCampaign(m.Spec.ManifestName(), b)
+}

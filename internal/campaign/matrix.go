@@ -1,0 +1,69 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+
+	"barrierpoint/internal/report"
+	"barrierpoint/internal/stats"
+)
+
+// Matrix aggregates completed cells into the campaign's accuracy/speedup
+// table: one row per cell in grid order plus an aggregate row (mean
+// errors, harmonic-mean speedups, matching the paper's Fig. 9
+// convention). The rendering depends only on cell metrics — never on
+// timing, exec mode or resume history — so an interrupted-and-resumed or
+// farmed campaign renders byte-identically to an uninterrupted local one.
+func Matrix(spec Spec, cells []CellOutcome) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Campaign %s: accuracy and speedup over %d cells", spec.Name, len(cells)),
+		"workload", "threads", "sockets", "signature", "warmup",
+		"runtime err (%)", "APKI diff", "serial speedup", "parallel speedup",
+		"est time (ms)", "actual time (ms)")
+	var errs, apki, serial, parallel []float64
+	for _, co := range cells {
+		c, res := co.Cell, co.Result
+		t.AddRow(c.Workload,
+			fmt.Sprintf("%d", c.Threads),
+			fmt.Sprintf("%d", c.EffectiveSockets()),
+			c.Signature, c.Warmup,
+			fmt.Sprintf("%.2f", res.RunErrPct),
+			fmt.Sprintf("%.3f", res.APKIDelta),
+			fmt.Sprintf("%.1f", res.SerialSpeedup),
+			fmt.Sprintf("%.1f", res.ParallelSpeedup),
+			fmt.Sprintf("%.3f", res.EstTimeNs/1e6),
+			fmt.Sprintf("%.3f", res.ActTimeNs/1e6))
+		errs = append(errs, res.RunErrPct)
+		apki = append(apki, res.APKIDelta)
+		serial = append(serial, res.SerialSpeedup)
+		parallel = append(parallel, res.ParallelSpeedup)
+	}
+	if len(cells) > 0 {
+		t.AddRow("aggregate", "", "", "", "",
+			fmt.Sprintf("%.2f", stats.Mean(errs)),
+			fmt.Sprintf("%.3f", stats.Mean(apki)),
+			fmt.Sprintf("%.1f", stats.HarmonicMean(serial)),
+			fmt.Sprintf("%.1f", stats.HarmonicMean(parallel)),
+			"", "")
+	}
+	return t
+}
+
+// Matrix renders the outcome's completed cells.
+func (o *Outcome) Matrix() *report.Table { return Matrix(o.Spec, o.Cells) }
+
+// RenderMatrix writes a matrix table in the named format: "text" (the
+// default), "markdown" or "json".
+func RenderMatrix(w io.Writer, t *report.Table, format string) error {
+	switch format {
+	case "", "text":
+		t.Render(w)
+	case "markdown":
+		_, _ = fmt.Fprint(w, t.Markdown())
+	case "json":
+		_, _ = fmt.Fprint(w, t.JSON())
+	default:
+		return fmt.Errorf("campaign: unknown output format %q (want text, markdown or json)", format)
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	bp "barrierpoint"
+	"barrierpoint/internal/service"
+	"barrierpoint/internal/stats"
+	"barrierpoint/internal/workload"
+)
+
+// newWorkload constructs a benchmark, turning workload.New's panic on
+// unknown names into an error (Validate normally catches this earlier).
+func newWorkload(name string, threads int, scale float64) (bp.Program, error) {
+	if !workload.Exists(name) {
+		return nil, fmt.Errorf("campaign: unknown benchmark %q", name)
+	}
+	return workload.New(name, threads, workload.WithScale(scale)), nil
+}
+
+// CellRunner computes one cell's result. Implementations must be pure in
+// the cell's coordinates: the same cell always yields the same result, no
+// matter when, where or how often it runs.
+type CellRunner interface {
+	RunCell(c Cell) (CellResult, error)
+}
+
+// ServiceRunner dispatches cells through a service.Manager over its
+// content-addressed store. Traces are recorded into the store once per
+// workload × thread count; each cell then becomes one estimate job (with
+// the spec's exec mode: local pool, farm queue, or auto) plus one
+// ground-truth simulate job. Every expensive stage lands in the store's
+// artifact cache, so re-running a cell — after a crash, or from a sibling
+// campaign sharing the store — is answered from artifacts, not recomputed.
+type ServiceRunner struct {
+	M *service.Manager
+	// Exec is forwarded to estimate requests: "", "auto", "local" or
+	// "farm". It changes where work runs, never what it produces.
+	Exec string
+
+	mu     sync.Mutex
+	traces map[string]string // "<workload>/<threads>" → trace content key
+}
+
+// Seed primes the runner's trace-key cache from a manifest, skipping keys
+// the store no longer holds, so a resumed campaign re-records nothing
+// that survived the interruption.
+func (r *ServiceRunner) Seed(traces map[string]string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.traces == nil {
+		r.traces = make(map[string]string)
+	}
+	for k, key := range traces {
+		if r.M.Store().HasTrace(key) {
+			r.traces[k] = key
+		}
+	}
+}
+
+// Traces returns a copy of the trace keys recorded so far, for persisting
+// into a manifest.
+func (r *ServiceRunner) Traces() map[string]string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]string, len(r.traces))
+	for k, v := range r.traces {
+		out[k] = v
+	}
+	return out
+}
+
+// ensureTrace records the cell's workload into the store (once per
+// workload × thread count — workload generation is deterministic, so the
+// content key is stable) and returns its content key.
+func (r *ServiceRunner) ensureTrace(c Cell) (string, error) {
+	id := fmt.Sprintf("%s/%d", c.Workload, c.Threads)
+	r.mu.Lock()
+	if r.traces == nil {
+		r.traces = make(map[string]string)
+	}
+	if key, ok := r.traces[id]; ok {
+		r.mu.Unlock()
+		return key, nil
+	}
+	r.mu.Unlock()
+
+	prog, err := newWorkload(c.Workload, c.Threads, c.Scale)
+	if err != nil {
+		return "", err
+	}
+	// Stream the recording straight into the store; byte-identical
+	// content already filed (a previous run, a sibling campaign) is
+	// discarded by PutTrace.
+	pr, pw := io.Pipe()
+	go func() { pw.CloseWithError(bp.RecordTrace(pw, prog)) }()
+	key, _, err := r.M.Store().PutTrace(pr)
+	if err != nil {
+		// Unblock the recorder if PutTrace bailed before draining the
+		// pipe (e.g. a failed temp-file write), or it leaks.
+		pr.CloseWithError(err)
+		return "", fmt.Errorf("campaign: recording %s: %w", id, err)
+	}
+	r.mu.Lock()
+	r.traces[id] = key
+	r.mu.Unlock()
+	return key, nil
+}
+
+// RunCell computes one cell: estimate and ground truth as service jobs,
+// accuracy metrics from their results, speedups from the cached
+// selection.
+func (r *ServiceRunner) RunCell(c Cell) (CellResult, error) {
+	if c.Warmup == WarmupPerfect {
+		return CellResult{}, fmt.Errorf("campaign: warmup %q needs in-memory full-simulation results; run the cell through the experiments harness instead", c.Warmup)
+	}
+	key, err := r.ensureTrace(c)
+	if err != nil {
+		return CellResult{}, err
+	}
+
+	// Estimate and ground truth are independent; submit both and let the
+	// manager's pool overlap them. The manager dedups against sibling
+	// cells sharing a machine config (the simulate job is warmup- and
+	// signature-independent).
+	est, err := r.runJob(service.Request{
+		Kind:      service.KindEstimate,
+		Trace:     key,
+		Signature: c.Signature,
+		Sockets:   c.Sockets,
+		Warmup:    c.Warmup,
+		Exec:      r.Exec,
+	})
+	if err != nil {
+		return CellResult{}, err
+	}
+	act, err := r.runJob(service.Request{
+		Kind:    service.KindSimulate,
+		Trace:   key,
+		Sockets: c.Sockets,
+	})
+	if err != nil {
+		return CellResult{}, err
+	}
+
+	serial, parallel, err := r.speedups(key, c)
+	if err != nil {
+		return CellResult{}, err
+	}
+	return CellResult{
+		TraceKey:        key,
+		EstTimeNs:       est.TimeNs,
+		ActTimeNs:       act.TimeNs,
+		EstAPKI:         est.DRAMAPKI,
+		ActAPKI:         act.DRAMAPKI,
+		RunErrPct:       stats.AbsPctErr(est.TimeNs, act.TimeNs),
+		APKIDelta:       math.Abs(est.DRAMAPKI - act.DRAMAPKI),
+		SerialSpeedup:   serial,
+		ParallelSpeedup: parallel,
+	}, nil
+}
+
+// runJob submits one request and waits for its terminal state.
+func (r *ServiceRunner) runJob(req service.Request) (service.EstimateResult, error) {
+	snap, err := r.M.Submit(req)
+	if err != nil {
+		return service.EstimateResult{}, fmt.Errorf("campaign: submitting %s job: %w", req.Kind, err)
+	}
+	snap, err = r.M.Wait(context.Background(), snap.ID)
+	if err != nil {
+		return service.EstimateResult{}, err
+	}
+	if snap.Status != service.StatusDone {
+		return service.EstimateResult{}, fmt.Errorf("campaign: %s job %s failed: %s", req.Kind, snap.ID, snap.Error)
+	}
+	var res service.EstimateResult
+	if err := json.Unmarshal(snap.Result, &res); err != nil {
+		return service.EstimateResult{}, fmt.Errorf("campaign: parsing %s result: %w", req.Kind, err)
+	}
+	return res, nil
+}
+
+// speedups reads the selection the estimate job cached and derives the
+// cell's Fig. 9 instruction-count reductions from it — no profiling, no
+// simulation, just the stored artifact bound to the stored trace.
+func (r *ServiceRunner) speedups(key string, c Cell) (serial, parallel float64, err error) {
+	cfg, err := service.ParseSignature(c.Signature)
+	if err != nil {
+		return 0, 0, err
+	}
+	selBytes, err := service.CachedSelection(r.M.Store(), key, cfg)
+	if err != nil {
+		return 0, 0, fmt.Errorf("campaign: reading selection for cell %s: %w", c.ID(), err)
+	}
+	sel, err := bp.LoadSelection(bytes.NewReader(selBytes))
+	if err != nil {
+		return 0, 0, err
+	}
+	f, err := r.M.Store().OpenTrace(key)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	a, err := sel.Bind(f)
+	if err != nil {
+		return 0, 0, err
+	}
+	return a.SerialSpeedup(), a.ParallelSpeedup(), nil
+}

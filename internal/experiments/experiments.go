@@ -2,11 +2,14 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	bp "barrierpoint"
+	"barrierpoint/internal/campaign"
 	"barrierpoint/internal/cluster"
 	"barrierpoint/internal/report"
+	"barrierpoint/internal/service"
 	"barrierpoint/internal/signature"
 	"barrierpoint/internal/stats"
 )
@@ -104,39 +107,87 @@ type ErrRow struct {
 	APKIDelta [2]float64 // abs DRAM APKI difference at 8 and 32 cores
 }
 
-// errRows computes runtime error and APKI difference per benchmark under a
-// warmup mode (PerfectWarmup when mode < 0).
+// AccuracySpec is the campaign spec whose grid is the paper's accuracy
+// evaluation (Figs. 4 and 7): every benchmark of the harness crossed with
+// the Table I core counts, under one warmup mode ("perfect" for Fig. 4,
+// the §IV technique for Fig. 7).
+func (h *Harness) AccuracySpec(warmup string) campaign.Spec {
+	return campaign.Spec{
+		Name:      "paper-accuracy-" + warmup,
+		Workloads: h.BenchNames(),
+		Threads:   CoreCounts,
+		Warmups:   []string{warmup},
+		Scale:     h.Scale,
+	}
+}
+
+// errRows computes runtime error and APKI difference per benchmark by
+// expanding the accuracy campaign spec and running its grid against the
+// in-memory harness — the same cells bpcamp would dispatch through the
+// service tier, minus the store.
 func (h *Harness) errRows(mode bp.WarmupMode, perfect bool) []ErrRow {
+	warmup := mode.String()
+	if perfect {
+		warmup = campaign.WarmupPerfect
+	}
+	outcomes, err := campaign.RunGrid(h.AccuracySpec(warmup), harnessRunner{h})
+	if err != nil {
+		panic(err)
+	}
+	// Expand order is workloads outermost, threads inner, so each
+	// benchmark's cells arrive contiguously in CoreCounts order.
 	var rows []ErrRow
-	for _, b := range h.BenchNames() {
-		row := ErrRow{Bench: b}
-		for ci, cores := range CoreCounts {
-			full := h.Full(b, cores)
-			a := h.DefaultAnalysis(b, cores)
-			var results map[int]bp.RegionResult
-			if perfect {
-				results = a.PerfectWarmup(full)
-			} else {
-				results = h.Points(b, cores, a, mode, "default")
-			}
-			est, err := a.EstimateFrom(results)
-			if err != nil {
-				panic(err)
-			}
-			act := bp.ActualFrom(full)
-			row.RunErr[ci] = stats.AbsPctErr(est.TimeNs, act.TimeNs)
-			row.APKIDelta[ci] = abs(est.DRAMAPKI() - act.DRAMAPKI())
+	for i, o := range outcomes {
+		ci := i % len(CoreCounts)
+		if ci == 0 {
+			rows = append(rows, ErrRow{Bench: o.Cell.Workload})
 		}
-		rows = append(rows, row)
+		row := &rows[len(rows)-1]
+		row.RunErr[ci] = o.Result.RunErrPct
+		row.APKIDelta[ci] = o.Result.APKIDelta
 	}
 	return rows
 }
 
-func abs(x float64) float64 {
-	if x < 0 {
-		return -x
+// harnessRunner adapts the in-memory Harness to campaign.CellRunner: the
+// full simulation is the harness' cached ground truth, and "perfect"
+// warmup estimates from its region results directly.
+type harnessRunner struct{ h *Harness }
+
+// RunCell implements campaign.CellRunner.
+func (r harnessRunner) RunCell(c campaign.Cell) (campaign.CellResult, error) {
+	h := r.h
+	cfg, err := service.ParseSignature(c.Signature)
+	if err != nil {
+		return campaign.CellResult{}, err
 	}
-	return x
+	full := h.Full(c.Workload, c.Threads)
+	a := h.Analysis(c.Workload, c.Threads, cfg)
+	var results map[int]bp.RegionResult
+	if c.Warmup == campaign.WarmupPerfect {
+		results = a.PerfectWarmup(full)
+	} else {
+		mode, err := bp.ParseWarmup(c.Warmup)
+		if err != nil {
+			return campaign.CellResult{}, err
+		}
+		results = h.Points(c.Workload, c.Threads, a, mode, "default")
+	}
+	est, err := a.EstimateFrom(results)
+	if err != nil {
+		return campaign.CellResult{}, err
+	}
+	act := bp.ActualFrom(full)
+	return campaign.CellResult{
+		EstTimeNs:       est.TimeNs,
+		ActTimeNs:       act.TimeNs,
+		EstAPKI:         est.DRAMAPKI(),
+		ActAPKI:         act.DRAMAPKI(),
+		RunErrPct:       stats.AbsPctErr(est.TimeNs, act.TimeNs),
+		APKIDelta:       math.Abs(est.DRAMAPKI() - act.DRAMAPKI()),
+		SerialSpeedup:   a.SerialSpeedup(),
+		ParallelSpeedup: a.ParallelSpeedup(),
+	}, nil
 }
 
 func errTable(title string, rows []ErrRow) *report.Table {

@@ -59,6 +59,14 @@ func TestGoldenTableMarkdown(t *testing.T) {
 	golden(t, "table_markdown", fixtureTable().Markdown())
 }
 
+func TestGoldenTableJSON(t *testing.T) {
+	golden(t, "table_json", fixtureTable().JSON())
+}
+
+func TestGoldenTableJSONEmpty(t *testing.T) {
+	golden(t, "table_json_empty", NewTable("", "a", "b").JSON())
+}
+
 func TestGoldenBarChart(t *testing.T) {
 	var sb strings.Builder
 	BarChart(&sb, "serial speedup", []string{"npb-ft", "npb-is", "npb-sp"},

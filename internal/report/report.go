@@ -4,6 +4,7 @@
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -96,6 +97,28 @@ func (t *Table) Markdown() string {
 		fmt.Fprintf(&sb, "| %s |\n", strings.Join(r, " | "))
 	}
 	return sb.String()
+}
+
+// JSON renders the table as indented JSON: an object with "title",
+// "headers" and "rows", all cells as strings. Encoding is deterministic
+// (field order is fixed, cells are pre-formatted strings), so two tables
+// with equal contents render byte-identically — the property the campaign
+// tier relies on to compare resumed and farmed runs.
+func (t *Table) JSON() string {
+	doc := struct {
+		Title   string     `json:"title,omitempty"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}{t.Title, t.Headers, t.Rows}
+	if doc.Rows == nil {
+		doc.Rows = [][]string{}
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		// Strings always marshal; a failure is a programming error.
+		panic(fmt.Sprintf("report: marshaling table: %v", err))
+	}
+	return string(b) + "\n"
 }
 
 // Bar renders one horizontal bar of a chart: the label, a bar scaled to

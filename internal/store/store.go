@@ -307,6 +307,82 @@ func (s *Store) PutArtifact(key, name string, data []byte) error {
 	return nil
 }
 
+// Campaign manifests (internal/campaign) are small JSON progress records
+// for resumable sweep runs. They live beside the content-addressed data —
+// <root>/campaigns/<name> — so a campaign resumes wherever its store
+// goes: copy the store to another machine and the sweep picks up from its
+// last completed cell there.
+
+func (s *Store) campaignPath(name string) string {
+	return filepath.Join(s.root, "campaigns", name)
+}
+
+// GetCampaign returns the named campaign manifest, or an error wrapping
+// ErrNotFound when no campaign of that name has been saved.
+func (s *Store) GetCampaign(name string) ([]byte, error) {
+	if !artifactRe.MatchString(name) {
+		return nil, fmt.Errorf("store: malformed campaign name %q", name)
+	}
+	b, err := os.ReadFile(s.campaignPath(name))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: campaign %s: %w", name, ErrNotFound)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return b, nil
+}
+
+// PutCampaign atomically stores the named campaign manifest, overwriting
+// any previous value.
+func (s *Store) PutCampaign(name string, data []byte) error {
+	if !artifactRe.MatchString(name) {
+		return fmt.Errorf("store: malformed campaign name %q", name)
+	}
+	dir := filepath.Join(s.root, "campaigns")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".put-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: writing campaign: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.campaignPath(name)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Campaigns lists the saved campaign manifest names, sorted. A store with
+// no campaigns yields an empty list, not an error.
+func (s *Store) Campaigns() ([]string, error) {
+	ents, err := os.ReadDir(filepath.Join(s.root, "campaigns"))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var names []string
+	for _, e := range ents {
+		if artifactRe.MatchString(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
 // RemoveArtifact invalidates one cached artifact. Removing an artifact
 // that does not exist is not an error.
 func (s *Store) RemoveArtifact(key, name string) error {

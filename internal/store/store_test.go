@@ -269,3 +269,44 @@ func TestConcurrentPuts(t *testing.T) {
 		t.Errorf("artifact torn: %q", got)
 	}
 }
+
+func TestCampaignManifests(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty store: no campaigns, lookups miss with ErrNotFound.
+	if names, err := st.Campaigns(); err != nil || len(names) != 0 {
+		t.Fatalf("Campaigns() on empty store = %v, %v", names, err)
+	}
+	if _, err := st.GetCampaign("sweep-abc.json"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("GetCampaign miss = %v, want ErrNotFound", err)
+	}
+	// Put / get / overwrite round-trips.
+	if err := st.PutCampaign("sweep-abc.json", []byte(`{"cells":{}}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutCampaign("sweep-abc.json", []byte(`{"cells":{"a":{}}}`)); err != nil {
+		t.Fatal(err)
+	}
+	b, err := st.GetCampaign("sweep-abc.json")
+	if err != nil || string(b) != `{"cells":{"a":{}}}` {
+		t.Fatalf("GetCampaign = %q, %v", b, err)
+	}
+	if err := st.PutCampaign("other.json", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	names, err := st.Campaigns()
+	if err != nil || strings.Join(names, " ") != "other.json sweep-abc.json" {
+		t.Fatalf("Campaigns() = %v, %v", names, err)
+	}
+	// Malformed names (path escapes) are rejected both ways.
+	for _, bad := range []string{"", "../evil", "a/b", ".hidden"} {
+		if err := st.PutCampaign(bad, []byte("x")); err == nil {
+			t.Errorf("PutCampaign(%q) accepted", bad)
+		}
+		if _, err := st.GetCampaign(bad); err == nil {
+			t.Errorf("GetCampaign(%q) accepted", bad)
+		}
+	}
+}
