@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: barrierpoint
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkProfiling              	      45	  22735103 ns/op	21747235 B/op	    4984 allocs/op
+BenchmarkProfiling              	      44	  23146040 ns/op	21747243 B/op	    4986 allocs/op
+BenchmarkRegionCacheReplay-8    	    1000	     91000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkTable1-8               	       2	 500000000 ns/op
+PASS
+ok  	barrierpoint	18.030s
+`
+
+func TestParse(t *testing.T) {
+	o, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(o.Benchmarks), o.Benchmarks)
+	}
+	p := o.Benchmarks["BenchmarkProfiling"]
+	if p.Samples != 2 || math.Abs(p.NsPerOp-22940571.5) > 1 || math.Abs(p.AllocsPerOp-4985) > 0.01 {
+		t.Errorf("BenchmarkProfiling averaged wrong: %+v", p)
+	}
+	r := o.Benchmarks["BenchmarkRegionCacheReplay"]
+	if r.Samples != 1 || r.NsPerOp != 91000 || r.AllocsPerOp != 0 {
+		t.Errorf("BenchmarkRegionCacheReplay wrong: %+v", r)
+	}
+	if tb := o.Benchmarks["BenchmarkTable1"]; tb.NsPerOp != 5e8 {
+		t.Errorf("BenchmarkTable1 wrong: %+v", tb)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\n")); err == nil {
+		t.Error("no-result input accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH.json")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-out", out, "-note", "test run"}, strings.NewReader(sample), &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var o Output
+	if err := json.Unmarshal(b, &o); err != nil {
+		t.Fatal(err)
+	}
+	if o.Note != "test run" || len(o.Benchmarks) != 3 {
+		t.Errorf("document wrong: %+v", o)
+	}
+}

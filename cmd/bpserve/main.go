@@ -78,6 +78,7 @@ func run(args []string, stderr io.Writer) error {
 		maxMB    = fs.Int64("max-upload-mb", 1024, "largest accepted trace upload, MiB")
 		leaseTTL = fs.Duration("farm-lease-ttl", 30*time.Second, "farm task lease duration (heartbeats renew it)")
 		retries  = fs.Int("farm-retries", 3, "farm task attempts before permanent failure")
+		replayMB = fs.Int64("replay-cache-mb", 256, "decoded-region replay cache budget, MiB (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -91,6 +92,11 @@ func run(args []string, stderr io.Writer) error {
 		return err
 	}
 	mgr := service.New(st, *workers, *depth)
+	if *replayMB <= 0 {
+		mgr.SetReplayCacheBytes(-1)
+	} else {
+		mgr.SetReplayCacheBytes(*replayMB << 20)
+	}
 	mgr.SetFarm(farm.NewQueue(st, farm.Config{LeaseTTL: *leaseTTL, MaxAttempts: *retries}))
 	srv := newServer(st, mgr)
 	srv.maxUpload = *maxMB << 20
@@ -146,6 +152,7 @@ func newServer(st *store.Store, mgr *service.Manager) *server {
 		return len(keys)
 	}))
 	s.vars.Set("jobs", expvar.Func(func() any { return s.mgr.Stats() }))
+	s.vars.Set("replay_cache", expvar.Func(func() any { return s.mgr.ReplayCacheStats() }))
 	if q := mgr.Farm(); q != nil {
 		s.vars.Set("farm", expvar.Func(func() any { return q.Stats() }))
 		s.mux.Handle("/farm/", farm.NewServer(q, st))

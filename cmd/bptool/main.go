@@ -195,7 +195,7 @@ func runInfo(args []string, stdout, stderr io.Writer) error {
 // when already cached — profiling and clustering are skipped entirely. The
 // returned program replays from the store's copy of the trace, so later
 // stages stream exactly the bytes the key addresses.
-func cachedAnalysis(st *store.Store, prog bp.Program, tracePath string) (*bp.Analysis, bp.Program, string, string, error) {
+func cachedAnalysis(st *store.Store, prog bp.Program, tracePath string, rc *bp.ReplayCache) (*bp.Analysis, bp.Program, string, string, error) {
 	var key string
 	var err error
 	if tracePath != "" {
@@ -211,7 +211,7 @@ func cachedAnalysis(st *store.Store, prog bp.Program, tracePath string) (*bp.Ana
 	if err != nil {
 		return nil, nil, "", "", err
 	}
-	selBytes, cached, err := service.AnalyzeCached(st, key, bp.DefaultConfig())
+	selBytes, cached, err := service.AnalyzeCachedReplay(st, key, bp.DefaultConfig(), rc)
 	if err != nil {
 		return nil, nil, "", "", err
 	}
@@ -223,7 +223,8 @@ func cachedAnalysis(st *store.Store, prog bp.Program, tracePath string) (*bp.Ana
 	if err != nil {
 		return nil, nil, "", "", err
 	}
-	a, err := sel.Bind(f)
+	replayProg := &storeTrace{Program: rc.Program(f, key), f: f}
+	a, err := sel.Bind(replayProg)
 	if err != nil {
 		f.Close()
 		return nil, nil, "", "", err
@@ -232,8 +233,18 @@ func cachedAnalysis(st *store.Store, prog bp.Program, tracePath string) (*bp.Ana
 	if cached {
 		note = ", selection reused from cache"
 	}
-	return a, f, fmt.Sprintf("%s, trace %s", note, key[:12]), key, nil
+	return a, replayProg, fmt.Sprintf("%s, trace %s", note, key[:12]), key, nil
 }
+
+// storeTrace pairs a store trace's cached replay view with the file handle
+// it reads, so the caller can close the file when done.
+type storeTrace struct {
+	bp.Program
+	f *bp.TraceFile
+}
+
+// Close releases the underlying trace file.
+func (t *storeTrace) Close() error { return t.f.Close() }
 
 // runAnalyze is the classic pipeline: analyze, estimate, and (optionally)
 // validate against a full simulation — from a built-in workload or from a
@@ -250,6 +261,7 @@ func runAnalyze(args []string, stdout, stderr io.Writer) error {
 		warmupFl  = fs.String("warmup", "mru+prev", "warmup mode: cold, mru, mru+prev")
 		skipFull  = fs.Bool("skip-full", false, "skip the ground-truth simulation (no error report)")
 		list      = fs.Bool("list", false, "list available workloads and exit")
+		replayMB  = fs.Int64("replay-cache-mb", 256, "decoded-region replay cache budget for recorded traces, MiB (0 disables)")
 	)
 	if help, err := parse(fs, args); help || err != nil {
 		return err
@@ -269,9 +281,17 @@ func runAnalyze(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	// One replay cache serves the whole pipeline run: analyze, warmup
+	// capture, point simulation and the ground-truth pass then decode each
+	// region of a recorded trace once.
+	var rc *bp.ReplayCache
+	if *replayMB > 0 {
+		rc = bp.NewReplayCache(*replayMB << 20)
+	}
+
 	var prog bp.Program
 	if *tracePath != "" {
-		f, err := bp.OpenTrace(*tracePath)
+		f, err := bp.OpenTraceCached(*tracePath, rc)
 		if err != nil {
 			return err
 		}
@@ -304,7 +324,7 @@ func runAnalyze(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		var key string
-		analysis, prog, note, key, err = cachedAnalysis(st, prog, *tracePath)
+		analysis, prog, note, key, err = cachedAnalysis(st, prog, *tracePath, rc)
 		if err != nil {
 			return err
 		}

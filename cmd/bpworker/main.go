@@ -44,9 +44,24 @@ func main() {
 	}
 }
 
+// lockedWriter serializes writes: tasks simulate (and log) on concurrent
+// goroutines, and io.Writer implementations are not generally safe for
+// concurrent use.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (lw *lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
+}
+
 // run is the testable entry point: it serves tasks until ctx is done, the
 // -max-tasks budget is spent, or the queue stays empty past -idle-exit.
 func run(ctx context.Context, args []string, stderr io.Writer) error {
+	stderr = &lockedWriter{w: stderr}
 	fs := flag.NewFlagSet("bpworker", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -57,6 +72,7 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		poll        = fs.Duration("poll", 500*time.Millisecond, "sleep between empty lease polls")
 		maxTasks    = fs.Int("max-tasks", 0, "exit after attempting this many tasks (0 = run forever)")
 		idleExit    = fs.Duration("idle-exit", 0, "exit after the queue stays empty this long (0 = never)")
+		replayMB    = fs.Int64("replay-cache-mb", 256, "decoded-region replay cache budget, MiB (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -99,7 +115,11 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	fmt.Fprintf(stderr, "bpworker: registered as %s (%s) with %s, concurrency %d\n",
 		c.Worker, *name, *server, *concurrency)
 
-	w := &worker{client: c, st: st, stderr: stderr}
+	var rc *bp.ReplayCache
+	if *replayMB > 0 {
+		rc = bp.NewReplayCache(*replayMB << 20)
+	}
+	w := &worker{client: c, st: st, rc: rc, stderr: stderr}
 	w.startHeartbeats()
 	defer w.stopHeartbeats()
 
@@ -154,6 +174,7 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 type worker struct {
 	client *farm.Client
 	st     *store.Store
+	rc     *bp.ReplayCache // decoded-region cache shared across tasks
 	stderr io.Writer
 
 	mu       sync.Mutex
@@ -286,7 +307,7 @@ func (w *worker) runTask(t farm.Task) error {
 		if err := w.client.FetchTrace(w.st, t.TraceKey); err != nil {
 			return bp.RegionResult{}, err
 		}
-		return farm.ExecuteTask(w.st, t)
+		return farm.ExecuteTaskCached(w.st, t, w.rc)
 	}()
 	if err != nil {
 		if ferr := w.client.Fail(t.ID, err.Error()); ferr != nil {
@@ -308,4 +329,3 @@ func (w *worker) runTask(t farm.Task) error {
 		t.ID, t.TraceKey, t.Region, t.Attempt, time.Since(start).Round(time.Millisecond))
 	return nil
 }
-

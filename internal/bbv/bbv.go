@@ -5,40 +5,91 @@ package bbv
 
 import (
 	"fmt"
-	"sort"
+	"strings"
 
+	"barrierpoint/internal/sparse"
 	"barrierpoint/internal/trace"
 )
 
 // Vector is a sparse basic block vector: static block ID → dynamic
-// instruction count attributed to that block.
-type Vector map[int]float64
+// instruction count attributed to that block, stored as entries sorted by
+// ascending block ID. The flat representation keeps signature construction
+// and distance computation allocation-free; FromMap/ToMap are the shims for
+// callers that still speak maps.
+type Vector []sparse.Entry
 
 // New returns an empty vector.
-func New() Vector { return make(Vector) }
+func New() Vector { return nil }
 
-// Add records one execution of block id contributing instrs instructions.
-func (v Vector) Add(id, instrs int) { v[id] += float64(instrs) }
-
-// Total returns the sum of all entries (the region's instruction count).
-func (v Vector) Total() float64 {
-	var s float64
-	for _, c := range v {
-		s += c
+// FromMap converts a block→count map into a Vector.
+func FromMap(m map[int]float64) Vector {
+	u := make(map[uint64]float64, len(m))
+	for id, c := range m {
+		u[uint64(id)] = c
 	}
-	return s
+	return Vector(sparse.FromMap(u))
 }
 
+// ToMap converts v into a block→count map.
+func (v Vector) ToMap() map[int]float64 {
+	m := make(map[int]float64, len(v))
+	for _, e := range v {
+		m[int(e.Key)] = e.Val
+	}
+	return m
+}
+
+// Add records one execution of block id contributing instrs instructions.
+// It is an insert-or-update on the sorted entries: constant-time for the
+// common loop pattern (re-executing the most recent block), logarithmic
+// lookup otherwise. Collect and the profiler accumulate through
+// sparse.Accumulator instead, which is O(1) per block regardless of
+// insertion order.
+func (v *Vector) Add(id, instrs int) {
+	k := uint64(id)
+	s := *v
+	if n := len(s); n > 0 && s[n-1].Key == k {
+		s[n-1].Val += float64(instrs)
+		return
+	}
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid].Key < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s) && s[lo].Key == k {
+		s[lo].Val += float64(instrs)
+		return
+	}
+	s = append(s, sparse.Entry{})
+	copy(s[lo+1:], s[lo:])
+	s[lo] = sparse.Entry{Key: k, Val: float64(instrs)}
+	*v = s
+}
+
+// Get returns the instruction count attributed to block id.
+func (v Vector) Get(id int) float64 { return sparse.Vector(v).Get(uint64(id)) }
+
+// Len returns the number of distinct blocks.
+func (v Vector) Len() int { return len(v) }
+
+// Total returns the sum of all entries (the region's instruction count).
+func (v Vector) Total() float64 { return sparse.Vector(v).Total() }
+
 // Normalized returns a copy of v scaled so its entries sum to 1.
-// A zero vector normalizes to a zero vector.
+// A zero vector normalizes to an empty vector.
 func (v Vector) Normalized() Vector {
-	out := make(Vector, len(v))
 	t := v.Total()
 	if t == 0 {
-		return out
+		return nil
 	}
-	for id, c := range v {
-		out[id] = c / t
+	out := make(Vector, len(v))
+	for i, e := range v {
+		out[i] = sparse.Entry{Key: e.Key, Val: e.Val / t}
 	}
 	return out
 }
@@ -46,64 +97,56 @@ func (v Vector) Normalized() Vector {
 // Clone returns a deep copy of v.
 func (v Vector) Clone() Vector {
 	out := make(Vector, len(v))
-	for id, c := range v {
-		out[id] = c
-	}
+	copy(out, v)
 	return out
 }
 
 // Keys returns the block IDs present in v in ascending order.
 func (v Vector) Keys() []int {
-	ks := make([]int, 0, len(v))
-	for id := range v {
-		ks = append(ks, id)
+	ks := make([]int, len(v))
+	for i, e := range v {
+		ks[i] = int(e.Key)
 	}
-	sort.Ints(ks)
 	return ks
 }
 
 // ManhattanDistance returns the L1 distance between two vectors, treating
 // missing entries as zero. For normalized vectors this lies in [0, 2].
+// Both vectors are sorted, so this is a zero-allocation merge join.
 func ManhattanDistance(a, b Vector) float64 {
-	var d float64
-	for id, av := range a {
-		bv := b[id]
-		if av > bv {
-			d += av - bv
-		} else {
-			d += bv - av
-		}
-	}
-	for id, bv := range b {
-		if _, ok := a[id]; !ok {
-			d += bv
-		}
-	}
-	return d
+	return sparse.Distance(sparse.Vector(a), sparse.Vector(b))
 }
 
 // Collect drains a stream and returns its basic block vector together with
 // the total instruction count observed.
 func Collect(s trace.Stream) (Vector, uint64) {
-	v := New()
+	acc := sparse.NewAccumulator(64)
 	var be trace.BlockExec
 	var instrs uint64
 	for s.Next(&be) {
-		v.Add(be.Block, be.Instrs)
+		acc.Add(uint64(be.Block), float64(be.Instrs))
 		instrs += uint64(be.Instrs)
 	}
-	return v, instrs
+	return FromAccumulator(acc), instrs
+}
+
+// FromAccumulator extracts the accumulated counts as a sorted Vector. The
+// accumulator may be Reset and reused afterwards; this is the profiler's
+// per-region extraction step.
+func FromAccumulator(acc *sparse.Accumulator) Vector {
+	return Vector(acc.AppendSorted(make(sparse.Vector, 0, acc.Len())))
 }
 
 // String renders the vector compactly for debugging.
 func (v Vector) String() string {
-	ks := v.Keys()
-	out := "bbv{"
-	for i, k := range ks {
+	var b strings.Builder
+	b.WriteString("bbv{")
+	for i, e := range v {
 		if i > 0 {
-			out += " "
+			b.WriteByte(' ')
 		}
-		out += fmt.Sprintf("%d:%.0f", k, v[k])
+		fmt.Fprintf(&b, "%d:%.0f", e.Key, e.Val)
 	}
-	return out + "}"
+	b.WriteByte('}')
+	return b.String()
 }

@@ -2,6 +2,8 @@ package bbv
 
 import (
 	"math"
+	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -16,23 +18,53 @@ func TestAddTotal(t *testing.T) {
 	if v.Total() != 25 {
 		t.Errorf("Total = %v, want 25", v.Total())
 	}
-	if v[1] != 20 || v[2] != 5 {
+	if v.Get(1) != 20 || v.Get(2) != 5 {
 		t.Errorf("entries wrong: %v", v)
 	}
 }
 
+// TestAddMatchesMap drives Add with random out-of-order keys and checks the
+// sorted flat vector against a map reference.
+func TestAddMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	v := New()
+	ref := make(map[int]float64)
+	for i := 0; i < 2000; i++ {
+		id, n := rng.Intn(100), rng.Intn(50)
+		v.Add(id, n)
+		ref[id] += float64(n)
+	}
+	if len(v) != len(ref) {
+		t.Fatalf("distinct blocks = %d, want %d", len(v), len(ref))
+	}
+	for i := 1; i < len(v); i++ {
+		if v[i-1].Key >= v[i].Key {
+			t.Fatalf("entries not strictly sorted at %d: %v >= %v", i, v[i-1].Key, v[i].Key)
+		}
+	}
+	for id, c := range ref {
+		if v.Get(id) != c {
+			t.Errorf("Get(%d) = %v, want %v", id, v.Get(id), c)
+		}
+	}
+	got := FromMap(ref)
+	if ManhattanDistance(v, got) != 0 {
+		t.Error("FromMap round trip differs from incremental Add")
+	}
+}
+
 func TestNormalized(t *testing.T) {
-	v := Vector{1: 30, 2: 10}
+	v := FromMap(map[int]float64{1: 30, 2: 10})
 	n := v.Normalized()
-	if math.Abs(n[1]-0.75) > 1e-12 || math.Abs(n[2]-0.25) > 1e-12 {
+	if math.Abs(n.Get(1)-0.75) > 1e-12 || math.Abs(n.Get(2)-0.25) > 1e-12 {
 		t.Errorf("Normalized = %v", n)
 	}
 	// Original unchanged.
-	if v[1] != 30 {
+	if v.Get(1) != 30 {
 		t.Error("Normalized mutated its receiver")
 	}
 	// Zero vector stays zero.
-	if z := New().Normalized(); len(z) != 0 {
+	if z := New().Normalized(); z.Len() != 0 {
 		t.Errorf("zero vector normalized to %v", z)
 	}
 }
@@ -50,11 +82,7 @@ func TestNormalizedSumsToOne(t *testing.T) {
 		if !any {
 			return true
 		}
-		var sum float64
-		for _, w := range v.Normalized() {
-			sum += w
-		}
-		return math.Abs(sum-1) < 1e-9
+		return math.Abs(v.Normalized().Total()-1) < 1e-9
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
@@ -62,16 +90,16 @@ func TestNormalizedSumsToOne(t *testing.T) {
 }
 
 func TestClone(t *testing.T) {
-	v := Vector{1: 2, 3: 4}
+	v := FromMap(map[int]float64{1: 2, 3: 4})
 	c := v.Clone()
-	c[1] = 99
-	if v[1] != 2 {
+	c[0].Val = 99
+	if v.Get(1) != 2 {
 		t.Error("Clone shares storage with original")
 	}
 }
 
 func TestKeys(t *testing.T) {
-	v := Vector{5: 1, 1: 1, 3: 1}
+	v := FromMap(map[int]float64{5: 1, 1: 1, 3: 1})
 	ks := v.Keys()
 	if len(ks) != 3 || ks[0] != 1 || ks[1] != 3 || ks[2] != 5 {
 		t.Errorf("Keys = %v", ks)
@@ -79,14 +107,34 @@ func TestKeys(t *testing.T) {
 }
 
 func TestManhattanDistance(t *testing.T) {
-	a := Vector{1: 0.5, 2: 0.5}
-	b := Vector{1: 0.5, 3: 0.5}
+	a := FromMap(map[int]float64{1: 0.5, 2: 0.5})
+	b := FromMap(map[int]float64{1: 0.5, 3: 0.5})
 	if d := ManhattanDistance(a, b); math.Abs(d-1.0) > 1e-12 {
 		t.Errorf("distance = %v, want 1.0", d)
 	}
 	if d := ManhattanDistance(a, a); d != 0 {
 		t.Errorf("self distance = %v", d)
 	}
+}
+
+// mapManhattan is the seed map-based distance, kept as the reference for
+// the merge-join implementation.
+func mapManhattan(a, b map[int]float64) float64 {
+	var d float64
+	for id, av := range a {
+		bv := b[id]
+		if av > bv {
+			d += av - bv
+		} else {
+			d += bv - av
+		}
+	}
+	for id, bv := range b {
+		if _, ok := a[id]; !ok {
+			d += bv
+		}
+	}
+	return d
 }
 
 func TestManhattanDistanceProperties(t *testing.T) {
@@ -99,11 +147,13 @@ func TestManhattanDistanceProperties(t *testing.T) {
 		}
 		return v.Normalized()
 	}
-	// Symmetry and bounds for normalized vectors.
+	// Symmetry, bounds, and agreement with the map reference.
 	f := func(xs, ys []uint8) bool {
 		a, b := mk(xs), mk(ys)
 		d1, d2 := ManhattanDistance(a, b), ManhattanDistance(b, a)
-		return math.Abs(d1-d2) < 1e-12 && d1 >= 0 && d1 <= 2+1e-12
+		ref := mapManhattan(a.ToMap(), b.ToMap())
+		return math.Abs(d1-d2) < 1e-12 && d1 >= 0 && d1 <= 2+1e-12 &&
+			math.Abs(d1-ref) < 1e-12
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
@@ -117,13 +167,33 @@ func TestCollect(t *testing.T) {
 		{Block: 9, Instrs: 2},
 	}}
 	v, instrs := Collect(s)
-	if instrs != 10 || v[7] != 8 || v[9] != 2 {
+	if instrs != 10 || v.Get(7) != 8 || v.Get(9) != 2 {
 		t.Errorf("Collect = %v, %d", v, instrs)
 	}
 }
 
+// TestCollectMatchesAdd checks the accumulator extraction path against the
+// incremental insert path over a permuted block sequence.
+func TestCollectMatchesAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var blocks []trace.BlockExec
+	want := New()
+	for i := 0; i < 500; i++ {
+		id, n := rng.Intn(40), 1+rng.Intn(9)
+		blocks = append(blocks, trace.BlockExec{Block: id, Instrs: n})
+		want.Add(id, n)
+	}
+	got, _ := Collect(&trace.SliceStream{Blocks: blocks})
+	if len(got) != len(want) || ManhattanDistance(got, want) != 0 {
+		t.Errorf("Collect differs from Add path")
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i].Key < got[j].Key }) {
+		t.Error("Collect output not sorted")
+	}
+}
+
 func TestString(t *testing.T) {
-	v := Vector{2: 3, 1: 1}
+	v := FromMap(map[int]float64{2: 3, 1: 1})
 	if got := v.String(); got != "bbv{1:1 2:3}" {
 		t.Errorf("String = %q", got)
 	}

@@ -16,12 +16,12 @@ func blobSVs(n, g int) ([]signature.SV, []float64, []int) {
 	truth := make([]int, n)
 	for i := 0; i < n; i++ {
 		grp := i % g
-		sv := signature.SV{}
 		// Each group occupies its own feature ids.
-		sv[uint64(grp*10)] = 0.7
-		sv[uint64(grp*10+1)] = 0.3 - 0.001*float64(i/g%3)
-		sv[uint64(grp*10+2)] = 0.001 * float64(i/g%3)
-		svs[i] = sv
+		svs[i] = signature.FromMap(map[uint64]float64{
+			uint64(grp * 10):   0.7,
+			uint64(grp*10 + 1): 0.3 - 0.001*float64(i/g%3),
+			uint64(grp*10 + 2): 0.001 * float64(i/g%3),
+		})
 		weights[i] = 1000 + float64(i%7)
 		truth[i] = grp
 	}
@@ -29,7 +29,7 @@ func blobSVs(n, g int) ([]signature.SV, []float64, []int) {
 }
 
 func TestProjectDeterministic(t *testing.T) {
-	sv := signature.SV{1: 0.5, 99: 0.5}
+	sv := signature.FromMap(map[uint64]float64{1: 0.5, 99: 0.5})
 	a := Project(sv, 15, 42)
 	b := Project(sv, 15, 42)
 	for d := range a {
@@ -52,8 +52,8 @@ func TestProjectDeterministic(t *testing.T) {
 func TestProjectPreservesSeparation(t *testing.T) {
 	// Distant sparse vectors stay distant after projection; identical ones
 	// coincide.
-	a := signature.SV{1: 1.0}
-	b := signature.SV{2: 1.0}
+	a := signature.FromMap(map[uint64]float64{1: 1.0})
+	b := signature.FromMap(map[uint64]float64{2: 1.0})
 	pa, pb := Project(a, 15, 1), Project(b, 15, 1)
 	var d2 float64
 	for d := range pa {
@@ -62,7 +62,7 @@ func TestProjectPreservesSeparation(t *testing.T) {
 	if d2 < 1e-4 {
 		t.Errorf("distinct vectors projected to distance² %v", d2)
 	}
-	pa2 := Project(signature.SV{1: 1.0}, 15, 1)
+	pa2 := Project(signature.FromMap(map[uint64]float64{1: 1.0}), 15, 1)
 	for d := range pa {
 		if pa[d] != pa2[d] {
 			t.Fatal("identical vectors projected differently")
@@ -159,7 +159,7 @@ func TestSelectFindsStructure(t *testing.T) {
 }
 
 func TestSelectSingleRegion(t *testing.T) {
-	res, err := Select([]signature.SV{{1: 1.0}}, []float64{5}, DefaultParams())
+	res, err := Select([]signature.SV{signature.FromMap(map[uint64]float64{1: 1.0})}, []float64{5}, DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +253,10 @@ func TestBICFloorPreventsDegenerateSplits(t *testing.T) {
 	svs := make([]signature.SV, 100)
 	weights := make([]float64, 100)
 	for i := range svs {
-		svs[i] = signature.SV{1: 0.999 - 1e-6*float64(i%5), 2: 0.001 + 1e-6*float64(i%5)}
+		svs[i] = signature.FromMap(map[uint64]float64{
+			1: 0.999 - 1e-6*float64(i%5),
+			2: 0.001 + 1e-6*float64(i%5),
+		})
 		weights[i] = 1
 	}
 	res, err := Select(svs, weights, DefaultParams())
@@ -262,6 +265,33 @@ func TestBICFloorPreventsDegenerateSplits(t *testing.T) {
 	}
 	if res.K > 6 {
 		t.Errorf("near-identical regions split into K=%d clusters", res.K)
+	}
+}
+
+// TestProjectMemoizationExact proves the shared-projector path (memoized
+// per-feature rows) is bit-identical to evaluating projEntry directly.
+func TestProjectMemoizationExact(t *testing.T) {
+	svs, _, _ := blobSVs(40, 4)
+	const dim, seed = 15, 42
+	got := ProjectAll(svs, dim, seed)
+	for i, sv := range svs {
+		want := make([]float64, dim)
+		for _, e := range sv {
+			for d := 0; d < dim; d++ {
+				want[d] += e.Val * projEntry(e.Key, d, seed)
+			}
+		}
+		for d := 0; d < dim; d++ {
+			if got[i][d] != want[d] {
+				t.Fatalf("sv %d dim %d: memoized %v != direct %v", i, d, got[i][d], want[d])
+			}
+		}
+		single := Project(sv, dim, seed)
+		for d := 0; d < dim; d++ {
+			if single[d] != got[i][d] {
+				t.Fatalf("sv %d dim %d: Project differs from ProjectAll", i, d)
+			}
+		}
 	}
 }
 

@@ -52,11 +52,17 @@ func kMeans(points [][]float64, weights []float64, k int, seed uint64, maxIters 
 	dim := len(points[0])
 	r := newRNG(seed)
 
-	// k-means++ seeding (weighted).
+	// k-means++ seeding (weighted). Centroid rows share one backing array
+	// so a solution costs two allocations, not k+2.
+	backing := make([]float64, 0, k*dim)
 	centroids := make([][]float64, 0, k)
+	addCentroid := func(p []float64) {
+		backing = append(backing, p...) // cap k*dim: never reallocates
+		centroids = append(centroids, backing[len(backing)-dim:len(backing):len(backing)])
+	}
 	d2 := make([]float64, n)
 	first := weightedPick(weights, r)
-	centroids = append(centroids, clone(points[first]))
+	addCentroid(points[first])
 	for len(centroids) < k {
 		var total float64
 		for i, p := range points {
@@ -68,7 +74,7 @@ func kMeans(points [][]float64, weights []float64, k int, seed uint64, maxIters 
 		}
 		if total == 0 {
 			// All remaining points coincide with centroids; duplicate one.
-			centroids = append(centroids, clone(points[weightedPick(weights, r)]))
+			addCentroid(points[weightedPick(weights, r)])
 			continue
 		}
 		target := r.float() * total
@@ -81,10 +87,11 @@ func kMeans(points [][]float64, weights []float64, k int, seed uint64, maxIters 
 				break
 			}
 		}
-		centroids = append(centroids, clone(points[pick]))
+		addCentroid(points[pick])
 	}
 
 	assign := make([]int, n)
+	wsum := make([]float64, k) // reused across iterations
 	for iter := 0; iter < maxIters; iter++ {
 		changed := false
 		for i, p := range points {
@@ -103,7 +110,7 @@ func kMeans(points [][]float64, weights []float64, k int, seed uint64, maxIters 
 			break
 		}
 		// Recompute weighted centroids.
-		wsum := make([]float64, k)
+		clear(wsum)
 		for c := range centroids {
 			for d := 0; d < dim; d++ {
 				centroids[c][d] = 0
@@ -157,12 +164,6 @@ func weightedPick(weights []float64, r *rng) int {
 		}
 	}
 	return len(weights) - 1
-}
-
-func clone(v []float64) []float64 {
-	out := make([]float64, len(v))
-	copy(out, v)
-	return out
 }
 
 // bic scores a clustering with the Bayesian Information Criterion under a

@@ -5,7 +5,10 @@
 // extraction (paper §III-B, Table II).
 package cluster
 
-import "barrierpoint/internal/signature"
+import (
+	"barrierpoint/internal/signature"
+	"barrierpoint/internal/sparse"
+)
 
 // splitmix64 is the hash behind the implicit random projection matrix.
 func splitmix64(x uint64) uint64 {
@@ -16,30 +19,82 @@ func splitmix64(x uint64) uint64 {
 }
 
 // projEntry returns the projection matrix entry for (feature, dim) in
-// [-1, 1), derived deterministically so the matrix never needs to be
+// [-0.5, 0.5), derived deterministically so the matrix never needs to be
 // materialized over the (huge, sparse) feature space.
 func projEntry(feature uint64, dim int, seed uint64) float64 {
 	h := splitmix64(feature ^ splitmix64(uint64(dim)+seed))
-	return float64(int64(h))/(1<<63)*0.5 + 0 // in [-0.5, 0.5)
+	return float64(int64(h)) / (1 << 63) * 0.5
+}
+
+// projector evaluates the implicit projection matrix with two
+// memoizations: the per-dimension seed hash splitmix64(dim+seed) is
+// computed once, and each distinct feature's full projection row is
+// computed once and cached. Regions of one program share almost all of
+// their features (the same static blocks and LDV buckets recur), so
+// projecting n regions costs one row computation per distinct feature
+// instead of one hash per feature per region per dimension.
+type projector struct {
+	seed    uint64
+	dimSeed []uint64            // splitmix64(d + seed), per dimension
+	rows    sparse.Table[int32] // feature -> row offset in arena
+	arena   []float64           // cached rows, dim entries each
+}
+
+func newProjector(dim int, seed uint64) *projector {
+	pj := &projector{seed: seed, dimSeed: make([]uint64, dim)}
+	for d := range pj.dimSeed {
+		pj.dimSeed[d] = splitmix64(uint64(d) + seed)
+	}
+	return pj
+}
+
+// row returns the projection row of one feature, computing and caching it
+// on first use. Row values are bit-identical to projEntry's.
+func (pj *projector) row(feature uint64) []float64 {
+	dim := len(pj.dimSeed)
+	off, existed := pj.rows.Upsert(feature)
+	if !existed {
+		*off = int32(len(pj.arena))
+		for _, ds := range pj.dimSeed {
+			h := splitmix64(feature ^ ds)
+			pj.arena = append(pj.arena, float64(int64(h))/(1<<63)*0.5)
+		}
+	}
+	return pj.arena[*off : int(*off)+dim]
+}
+
+// project maps sv into out (len(out) dimensions) in one fused pass over
+// the sorted entries, accumulating w * row[d] per feature.
+func (pj *projector) project(sv signature.SV, out []float64) {
+	for d := range out {
+		out[d] = 0
+	}
+	for _, e := range sv {
+		row := pj.row(e.Key)
+		w := e.Val
+		for d, r := range row {
+			out[d] += w * r
+		}
+	}
 }
 
 // Project maps a sparse signature vector into dim dense dimensions via a
 // fixed random ±uniform projection (Table II: dim = 15).
 func Project(sv signature.SV, dim int, seed uint64) []float64 {
 	out := make([]float64, dim)
-	for f, w := range sv {
-		for d := 0; d < dim; d++ {
-			out[d] += w * projEntry(f, d, seed)
-		}
-	}
+	newProjector(dim, seed).project(sv, out)
 	return out
 }
 
-// ProjectAll projects every signature vector.
+// ProjectAll projects every signature vector through one shared projector,
+// so each distinct feature's row is derived exactly once.
 func ProjectAll(svs []signature.SV, dim int, seed uint64) [][]float64 {
+	pj := newProjector(dim, seed)
+	backing := make([]float64, dim*len(svs))
 	out := make([][]float64, len(svs))
 	for i, sv := range svs {
-		out[i] = Project(sv, dim, seed)
+		out[i] = backing[i*dim : (i+1)*dim : (i+1)*dim]
+		pj.project(sv, out[i])
 	}
 	return out
 }

@@ -13,35 +13,35 @@
 //
 // A task is one (trace, region, machine, warmup) simulation. Its life:
 //
-//	          Enqueue                Lease                Complete
-//	  spec ────────────▶ queued ────────────▶ leased ────────────▶ done
-//	            │           ▲                    │
-//	  store hit │           │ requeue:           │ Fail, or lease TTL
-//	            ▼           │ attempts < max     ▼ expiry (no heartbeat)
-//	          done          └──────────────── retriable ──▶ failed
-//	                                             (attempts == max)
+//		          Enqueue                Lease                Complete
+//		  spec ────────────▶ queued ────────────▶ leased ────────────▶ done
+//		            │           ▲                    │
+//		  store hit │           │ requeue:           │ Fail, or lease TTL
+//		            ▼           │ attempts < max     ▼ expiry (no heartbeat)
+//		          done          └──────────────── retriable ──▶ failed
+//		                                             (attempts == max)
 //
-//   - Enqueue deduplicates twice: against the content-addressed store
-//     (the task's result artifact — named by trace key, machine-config
-//     hash and warmup mode, see PointArtifact — may already exist from an
-//     earlier farm run, a local cached run, or another job), and against
-//     live tasks (an identical task already queued or leased is shared,
-//     both waiters get the same Ticket).
-//   - Lease hands a worker up to max tasks, each with a lease that
-//     expires LeaseTTL from now. A worker holding leases must call
-//     Heartbeat before they expire; each heartbeat renews the full TTL.
-//   - A task whose lease expires — worker crashed, hung, or partitioned —
-//     is requeued with its failure logged, and handed to the next worker
-//     that leases. After MaxAttempts leases end in failure or expiry the
-//     task fails permanently, and every waiter sees the accumulated
-//     per-attempt failure log.
-//   - Complete uploads the simulated RegionResult. Uploads are
-//     idempotent and unconditionally accepted, even from a worker whose
-//     lease has expired and whose task was already reassigned or
-//     completed by someone else: point simulation is deterministic, so a
-//     late duplicate result is byte-identical to the accepted one and is
-//     simply acknowledged. The first upload stores the result as a store
-//     artifact (so future runs dedup against it) and wakes the waiters.
+//	  - Enqueue deduplicates twice: against the content-addressed store
+//	    (the task's result artifact — named by trace key, machine-config
+//	    hash and warmup mode, see PointArtifact — may already exist from an
+//	    earlier farm run, a local cached run, or another job), and against
+//	    live tasks (an identical task already queued or leased is shared,
+//	    both waiters get the same Ticket).
+//	  - Lease hands a worker up to max tasks, each with a lease that
+//	    expires LeaseTTL from now. A worker holding leases must call
+//	    Heartbeat before they expire; each heartbeat renews the full TTL.
+//	  - A task whose lease expires — worker crashed, hung, or partitioned —
+//	    is requeued with its failure logged, and handed to the next worker
+//	    that leases. After MaxAttempts leases end in failure or expiry the
+//	    task fails permanently, and every waiter sees the accumulated
+//	    per-attempt failure log.
+//	  - Complete uploads the simulated RegionResult. Uploads are
+//	    idempotent and unconditionally accepted, even from a worker whose
+//	    lease has expired and whose task was already reassigned or
+//	    completed by someone else: point simulation is deterministic, so a
+//	    late duplicate result is byte-identical to the accepted one and is
+//	    simply acknowledged. The first upload stores the result as a store
+//	    artifact (so future runs dedup against it) and wakes the waiters.
 //
 // # Determinism
 //

@@ -161,6 +161,19 @@ type Queue struct {
 	stats     Stats
 	stopSweep chan struct{}
 	sweepDone chan struct{}
+
+	// replay is the decoded-region cache shared by every in-process worker
+	// of this queue (see RunLocalWorker), created on first use so queues
+	// that never run local workers pay nothing.
+	replayOnce sync.Once
+	replay     *bp.ReplayCache
+}
+
+// replayCache returns the queue's shared decoded-region replay cache,
+// creating it (default budget) on first use.
+func (q *Queue) replayCache() *bp.ReplayCache {
+	q.replayOnce.Do(func() { q.replay = bp.NewReplayCache(0) })
+	return q.replay
 }
 
 // NewQueue creates a queue over st and starts its expired-lease sweeper.

@@ -26,6 +26,15 @@ func PointArtifact(region int, mc bp.MachineConfig, warmup string) string {
 // funnels into bp.SimulatePoint — the same code LocalRunner runs — so
 // farmed results are bit-identical to local ones.
 func ExecuteTask(st *store.Store, t Task) (bp.RegionResult, error) {
+	return ExecuteTaskCached(st, t, nil)
+}
+
+// ExecuteTaskCached is ExecuteTask with a region replay cache: a worker
+// that leases many points of one trace (the common batch shape) decodes
+// each warmup-prefix region once instead of once per point. rc is keyed by
+// the task's trace content key; nil streams from disk. Cached and uncached
+// execution are bit-identical.
+func ExecuteTaskCached(st *store.Store, t Task, rc *bp.ReplayCache) (bp.RegionResult, error) {
 	mode, err := bp.ParseWarmup(t.Warmup)
 	if err != nil {
 		return bp.RegionResult{}, err
@@ -35,7 +44,7 @@ func ExecuteTask(st *store.Store, t Task) (bp.RegionResult, error) {
 		return bp.RegionResult{}, err
 	}
 	defer f.Close()
-	return bp.SimulatePoint(f, t.Region, bp.TableIMachine(t.Sockets), mode)
+	return bp.SimulatePoint(rc.Program(f, t.TraceKey), t.Region, bp.TableIMachine(t.Sockets), mode)
 }
 
 // QueueRunner is a bp.PointRunner that farms each point out as a queue
@@ -142,6 +151,9 @@ func (r *CachedRunner) RunPoints(p bp.Program, regions []int, mc bp.MachineConfi
 // benchmarks; cmd/bpworker is the same loop over the HTTP protocol.
 func RunLocalWorker(ctx context.Context, q *Queue, st *store.Store, name string) {
 	id := q.Register(name)
+	// All in-process workers of one queue share a single decoded-region
+	// cache: one budget, and each region decoded once for the whole fleet.
+	rc := q.replayCache()
 	idle := q.cfg.SweepEvery / 2
 	if idle <= 0 || idle > 50*time.Millisecond {
 		idle = 50 * time.Millisecond
@@ -163,7 +175,7 @@ func RunLocalWorker(ctx context.Context, q *Queue, st *store.Store, name string)
 			continue
 		}
 		for _, t := range tasks {
-			res, err := ExecuteTask(st, t)
+			res, err := ExecuteTaskCached(st, t, rc)
 			if err != nil {
 				q.Fail(id, t.ID, err.Error())
 				continue

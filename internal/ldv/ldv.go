@@ -13,7 +13,9 @@ package ldv
 import (
 	"fmt"
 	"math"
+	"strings"
 
+	"barrierpoint/internal/sparse"
 	"barrierpoint/internal/trace"
 )
 
@@ -97,33 +99,41 @@ func (h *Histogram) Normalized() Histogram {
 
 // String renders non-empty buckets for debugging.
 func (h *Histogram) String() string {
-	out := "ldv{"
+	var b strings.Builder
+	b.WriteString("ldv{")
 	first := true
 	for n, c := range h.Buckets {
 		if c == 0 {
 			continue
 		}
 		if !first {
-			out += " "
+			b.WriteByte(' ')
 		}
 		first = false
-		out += fmt.Sprintf("2^%d:%.0f", n, c)
+		fmt.Fprintf(&b, "2^%d:%.0f", n, c)
 	}
 	if h.Cold > 0 {
 		if !first {
-			out += " "
+			b.WriteByte(' ')
 		}
-		out += fmt.Sprintf("cold:%.0f", h.Cold)
+		fmt.Fprintf(&b, "cold:%.0f", h.Cold)
 	}
-	return out + "}"
+	b.WriteByte('}')
+	return b.String()
 }
 
 // Profiler computes LRU stack distances of a cache line access stream.
 // The zero value is not usable; call NewProfiler.
+//
+// The per-line last-access index is an open-addressing robin-hood table
+// (see internal/sparse) rather than a Go map: Access is the innermost loop
+// of the profiling pass (one call per memory reference in the trace), and
+// the flat table roughly halves its cost while making Reset a metadata
+// clear, so profilers pool cleanly across regions (see internal/profile).
 type Profiler struct {
-	last map[uint64]int // line -> most recent access time (1-based)
-	bit  []int          // Fenwick tree over access times; bit[0] unused
-	time int            // number of accesses processed
+	last sparse.Table[int] // line -> most recent access time (1-based)
+	bit  []int             // Fenwick tree over access times; bit[0] unused
+	time int               // number of accesses processed
 }
 
 // NewProfiler returns a profiler expecting roughly hint accesses (the hint
@@ -133,17 +143,15 @@ func NewProfiler(hint int) *Profiler {
 		hint = 16
 	}
 	return &Profiler{
-		last: make(map[uint64]int, hint/4),
+		last: *sparse.NewTable[int](hint / 4),
 		bit:  make([]int, hint+1),
 	}
 }
 
 // Reset clears all profiler state, keeping allocated storage.
 func (p *Profiler) Reset() {
-	clear(p.last)
-	for i := range p.bit {
-		p.bit[i] = 0
-	}
+	p.last.Reset()
+	clear(p.bit)
 	p.time = 0
 }
 
@@ -173,11 +181,11 @@ func (p *Profiler) Access(line uint64) (dist int, cold bool) {
 		// high node covers a range of existing positions — so rebuild
 		// from the active positions (each line's most recent access).
 		p.bit = make([]int, 2*len(p.bit))
-		for _, at := range p.last {
+		p.last.Range(func(_ uint64, at int) {
 			p.bitAdd(at, 1)
-		}
+		})
 	}
-	prev, seen := p.last[line]
+	prev, seen := p.last.Swap(line, t)
 	if seen {
 		// Distinct lines accessed strictly after prev: each line's most
 		// recent access position is marked, so a suffix count suffices.
@@ -186,13 +194,12 @@ func (p *Profiler) Access(line uint64) (dist int, cold bool) {
 	} else {
 		cold = true
 	}
-	p.last[line] = t
 	p.bitAdd(t, 1)
 	return dist, cold
 }
 
 // Footprint returns the number of distinct lines seen so far.
-func (p *Profiler) Footprint() int { return len(p.last) }
+func (p *Profiler) Footprint() int { return p.last.Len() }
 
 // Collect profiles a full stream and returns its LDV. Instruction fetches
 // are not included; only data accesses contribute, as in the paper's

@@ -203,6 +203,41 @@ func TestCollect(t *testing.T) {
 	}
 }
 
+// TestAccessSteadyStateAllocs is the allocation-regression cap for the
+// profiling inner loop: once the table and Fenwick tree have grown to the
+// working set, Access never allocates.
+func TestAccessSteadyStateAllocs(t *testing.T) {
+	p := NewProfiler(16)
+	for i := 0; i < 4096; i++ { // grow to the working set
+		p.Access(uint64(i % 512))
+	}
+	var i uint64
+	allocs := testing.AllocsPerRun(5000, func() {
+		p.Access(i % 512)
+		i++
+	})
+	if allocs >= 1 {
+		t.Errorf("steady-state Access allocates %.2f times per call, want 0", allocs)
+	}
+}
+
+// TestHistogramStringLong exercises the builder-based rendering on a full
+// histogram (the seed's string concatenation was quadratic here).
+func TestHistogramStringLong(t *testing.T) {
+	var h Histogram
+	for n := range h.Buckets {
+		h.Buckets[n] = float64(n + 1)
+	}
+	h.Cold = 3
+	s := h.String()
+	if len(s) == 0 || s[0:4] != "ldv{" || s[len(s)-1] != '}' {
+		t.Errorf("malformed String: %q", s)
+	}
+	if want := "2^47:48 cold:3}"; s[len(s)-len(want):] != want {
+		t.Errorf("String tail = %q, want %q", s, want)
+	}
+}
+
 func TestHistogramString(t *testing.T) {
 	var h Histogram
 	h.Add(0)

@@ -15,7 +15,18 @@ import (
 	"barrierpoint/internal/bbv"
 	"barrierpoint/internal/ldv"
 	"barrierpoint/internal/signature"
+	"barrierpoint/internal/sparse"
 	"barrierpoint/internal/trace"
+)
+
+// Profiling scratch state, pooled across regions: the LDV profiler's
+// last-access table and Fenwick tree, and the BBV accumulator, are the two
+// big per-region structures. Both reset to clean state without releasing
+// storage, so the steady-state profiling pass allocates only the retained
+// per-region results. Objects are Reset before Put, never after Get.
+var (
+	profilerPool = sync.Pool{New: func() any { return ldv.NewProfiler(4096) }}
+	accPool      = sync.Pool{New: func() any { return sparse.NewAccumulator(256) }}
 )
 
 // Region profiles one region of a program.
@@ -25,15 +36,15 @@ func Region(r trace.Region, threads int) *signature.RegionData {
 		LDV:          make([]ldv.Histogram, threads),
 		ThreadInstrs: make([]uint64, threads),
 	}
+	acc := accPool.Get().(*sparse.Accumulator)
+	p := profilerPool.Get().(*ldv.Profiler)
 	for t := 0; t < threads; t++ {
 		s := r.Thread(t)
-		v := bbv.New()
 		var h ldv.Histogram
-		p := ldv.NewProfiler(4096)
 		var be trace.BlockExec
 		var instrs uint64
 		for s.Next(&be) {
-			v.Add(be.Block, be.Instrs)
+			acc.Add(uint64(be.Block), float64(be.Instrs))
 			instrs += uint64(be.Instrs)
 			for _, a := range be.Accs {
 				d, cold := p.Access(trace.LineAddr(a.Addr))
@@ -44,11 +55,15 @@ func Region(r trace.Region, threads int) *signature.RegionData {
 				}
 			}
 		}
-		rd.BBV[t] = v
+		rd.BBV[t] = bbv.FromAccumulator(acc)
+		acc.Reset()
+		p.Reset()
 		rd.LDV[t] = h
 		rd.ThreadInstrs[t] = instrs
 		rd.TotalInstrs += instrs
 	}
+	accPool.Put(acc)
+	profilerPool.Put(p)
 	return rd
 }
 

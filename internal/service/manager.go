@@ -124,10 +124,16 @@ const maxRetained = 1024
 // the store's artifact cache, every expensive stage runs at most once per
 // (trace, parameters).
 type Manager struct {
-	st    *store.Store
-	farm  *farm.Queue // nil until SetFarm; estimates then stay local
-	queue chan *job
-	wg    sync.WaitGroup
+	st *store.Store
+	// replay is the manager's shared region replay cache: every job that
+	// replays a stored trace — a cold analyze, an estimate's warmup and
+	// point simulations, a ground-truth simulate — decodes regions through
+	// it, keyed by trace content. An estimate+simulate pair over one trace
+	// therefore decodes each region once, not once per job.
+	replay *bp.ReplayCache
+	farm   *farm.Queue // nil until SetFarm; estimates then stay local
+	queue  chan *job
+	wg     sync.WaitGroup
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -150,6 +156,7 @@ func New(st *store.Store, workers, depth int) *Manager {
 	}
 	m := &Manager{
 		st:       st,
+		replay:   bp.NewReplayCache(0), // DefaultReplayCacheBytes
 		queue:    make(chan *job, depth),
 		jobs:     make(map[string]*job),
 		inflight: make(map[string]*job),
@@ -177,6 +184,21 @@ func (m *Manager) SetFarm(q *farm.Queue) { m.farm = q }
 // Farm returns the attached work queue, or nil when execution is
 // local-only.
 func (m *Manager) Farm() *farm.Queue { return m.farm }
+
+// SetReplayCacheBytes resizes the manager's region replay cache budget:
+// 0 restores the default (bp.DefaultReplayCacheBytes), negative disables
+// caching. Call it once, before the first Submit.
+func (m *Manager) SetReplayCacheBytes(n int64) {
+	if n < 0 {
+		m.replay = nil
+		return
+	}
+	m.replay = bp.NewReplayCache(n)
+}
+
+// ReplayCacheStats returns the replay cache's activity counters (zeros
+// when caching is disabled).
+func (m *Manager) ReplayCacheStats() bp.ReplayCacheStats { return m.replay.Stats() }
 
 // Stats returns activity counters.
 func (m *Manager) Stats() Stats {
@@ -462,7 +484,7 @@ func (m *Manager) run(j *job) {
 func (m *Manager) execute(j *job) (json.RawMessage, bool, error) {
 	switch j.req.Kind {
 	case KindAnalyze:
-		sel, cached, err := AnalyzeCached(m.st, j.req.Trace, j.cfg)
+		sel, cached, err := AnalyzeCachedReplay(m.st, j.req.Trace, j.cfg, m.replay)
 		if err != nil {
 			return nil, false, err
 		}
@@ -489,7 +511,7 @@ func (m *Manager) execute(j *job) (json.RawMessage, bool, error) {
 		} else if !errors.Is(err, store.ErrNotFound) {
 			return nil, false, err
 		}
-		selBytes, selCached, err := AnalyzeCached(m.st, j.req.Trace, j.cfg)
+		selBytes, selCached, err := AnalyzeCachedReplay(m.st, j.req.Trace, j.cfg, m.replay)
 		if err != nil {
 			return nil, false, err
 		}
@@ -500,7 +522,9 @@ func (m *Manager) execute(j *job) (json.RawMessage, bool, error) {
 		if err != nil {
 			return nil, false, err
 		}
-		a, err := sel.Bind(f)
+		// Bind the selection to the cached replay view: warmup capture and
+		// the local point runner then replay decoded regions from memory.
+		a, err := sel.Bind(m.replay.Program(f, j.req.Trace))
 		if err != nil {
 			return nil, false, err
 		}
@@ -526,7 +550,7 @@ func (m *Manager) execute(j *job) (json.RawMessage, bool, error) {
 		} else if !errors.Is(err, store.ErrNotFound) {
 			return nil, false, err
 		}
-		full, err := bp.SimulateFull(f, mc)
+		full, err := bp.SimulateFull(m.replay.Program(f, j.req.Trace), mc)
 		if err != nil {
 			return nil, false, err
 		}

@@ -114,6 +114,14 @@ var (
 // trace, config) within the process. The returned bytes parse with
 // bp.LoadSelection.
 func AnalyzeCached(st *store.Store, key string, cfg bp.Config) (sel []byte, cached bool, err error) {
+	return AnalyzeCachedReplay(st, key, cfg, nil)
+}
+
+// AnalyzeCachedReplay is AnalyzeCached with a replay cache: a cold
+// analysis decodes each region through rc (keyed by the trace's content
+// key), so a following estimate or simulate over the same cache replays
+// regions without touching the trace file. A nil rc streams from disk.
+func AnalyzeCachedReplay(st *store.Store, key string, cfg bp.Config, rc *bp.ReplayCache) (sel []byte, cached bool, err error) {
 	name := SelectionArtifact(cfg)
 	flightKey := st.Root() + "|" + key + "|" + name
 	for {
@@ -132,7 +140,7 @@ func AnalyzeCached(st *store.Store, key string, cfg bp.Config) (sel []byte, cach
 		analyzeFlights[flightKey] = ch
 		analyzeMu.Unlock()
 
-		sel, err := computeSelection(st, key, cfg, name)
+		sel, err := computeSelection(st, key, cfg, name, rc)
 		analyzeMu.Lock()
 		delete(analyzeFlights, flightKey)
 		analyzeMu.Unlock()
@@ -142,13 +150,13 @@ func AnalyzeCached(st *store.Store, key string, cfg bp.Config) (sel []byte, cach
 }
 
 // computeSelection runs the cold path: profile, cluster, serialize, cache.
-func computeSelection(st *store.Store, key string, cfg bp.Config, name string) ([]byte, error) {
+func computeSelection(st *store.Store, key string, cfg bp.Config, name string, rc *bp.ReplayCache) ([]byte, error) {
 	f, err := st.OpenTrace(key)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	a, err := analyzeFn(f, cfg)
+	a, err := analyzeFn(rc.Program(f, key), cfg)
 	if err != nil {
 		return nil, err
 	}

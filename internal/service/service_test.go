@@ -97,6 +97,49 @@ func TestAnalyzeCachedSkipsProfiling(t *testing.T) {
 	}
 }
 
+// TestReplayCacheSharedAcrossJobs proves one manager cache serves every
+// job over a trace: after an estimate and a ground-truth simulate of the
+// same trace, the decoded-region cache has hits (regions decoded by the
+// first job replayed from memory by the second), and the results are the
+// same as a cache-disabled manager's over an identical store.
+func TestReplayCacheSharedAcrossJobs(t *testing.T) {
+	runBoth := func(t *testing.T, disable bool) (est, act json.RawMessage, stats bp.ReplayCacheStats) {
+		st, key := newTestStore(t)
+		m := New(st, 2, 0)
+		if disable {
+			m.SetReplayCacheBytes(-1)
+		}
+		defer m.Shutdown(context.Background())
+		for _, kind := range []Kind{KindEstimate, KindSimulate} {
+			snap, err := m.Submit(Request{Kind: kind, Trace: key, Warmup: "mru"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			done, err := m.Wait(context.Background(), snap.ID)
+			if err != nil || done.Status != StatusDone {
+				t.Fatalf("%s job: err=%v status=%s error=%s", kind, err, done.Status, done.Error)
+			}
+			if kind == KindEstimate {
+				est = done.Result
+			} else {
+				act = done.Result
+			}
+		}
+		return est, act, m.ReplayCacheStats()
+	}
+	estC, actC, stats := runBoth(t, false)
+	if stats.Hits == 0 || stats.Misses == 0 {
+		t.Errorf("replay cache unused across jobs: %+v", stats)
+	}
+	estU, actU, statsU := runBoth(t, true)
+	if statsU.Hits != 0 || statsU.Misses != 0 {
+		t.Errorf("disabled cache reports activity: %+v", statsU)
+	}
+	if !bytes.Equal(estC, estU) || !bytes.Equal(actC, actU) {
+		t.Error("cached and uncached job results differ")
+	}
+}
+
 // TestConcurrentSubmitDedup race-submits N identical analyze jobs; they
 // must coalesce onto one job, run the analysis exactly once, and hand
 // every submitter an identical result. Run under -race in CI.

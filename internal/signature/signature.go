@@ -10,6 +10,7 @@ import (
 
 	"barrierpoint/internal/bbv"
 	"barrierpoint/internal/ldv"
+	"barrierpoint/internal/sparse"
 )
 
 // Kind selects which program characteristics enter the signature.
@@ -68,9 +69,15 @@ func (o Options) Label() string {
 // unweighted LDVs, per-thread concatenation.
 func Default() Options { return Options{Kind: Combined} }
 
-// SV is a sparse signature vector. Keys are feature identifiers unique
-// across threads and metric kinds; values are normalized weights.
-type SV map[uint64]float64
+// SV is a sparse signature vector: entries sorted by ascending feature key.
+// Keys are feature identifiers unique across threads and metric kinds;
+// values are normalized weights. The flat sorted form makes Distance a
+// zero-allocation merge join and lets projection memoize per-feature rows
+// (see internal/cluster); FromMap is the shim for map-speaking callers.
+type SV = sparse.Vector
+
+// FromMap converts a feature→weight map into a sorted SV.
+func FromMap(m map[uint64]float64) SV { return sparse.FromMap(m) }
 
 // Feature key layout: | kind (1 bit) | thread (15 bits) | feature (48 bits) |
 const (
@@ -96,51 +103,141 @@ type RegionData struct {
 // sub-vector is L1-normalized before concatenation; the final vector is
 // L1-normalized overall, so regions of different lengths compare by
 // intrinsic behaviour only (paper §III-B).
+//
+// In the default concatenation mode the feature keys of successive
+// (kind, thread) sub-vectors are strictly increasing — kind is the top key
+// bit and BBV entries are already sorted per thread — so the SV is emitted
+// sorted in one pass with a single exact-size allocation. SumThreads folds
+// every thread into slot 0 and therefore accumulates through scratch
+// storage before sorting.
 func Build(rd *RegionData, o Options) SV {
-	sv := make(SV)
+	if o.SumThreads {
+		return buildSummed(rd, o)
+	}
 	threads := len(rd.BBV)
 	useBBV := o.Kind == BBVOnly || o.Kind == Combined
 	useLDV := o.Kind == LDVOnly || o.Kind == Combined
 
-	for t := 0; t < threads; t++ {
-		slot := t
-		if o.SumThreads {
-			slot = 0
+	n := 0
+	if useBBV {
+		for t := 0; t < threads; t++ {
+			n += rd.BBV[t].Len()
 		}
+	}
+	if useLDV {
+		n += threads * (ldv.NumBuckets + 1)
+	}
+	sv := make(SV, 0, n)
+
+	if useBBV {
+		for t := 0; t < threads; t++ {
+			v := rd.BBV[t]
+			total := v.Total()
+			if total == 0 {
+				continue
+			}
+			for _, e := range v {
+				sv = append(sv, sparse.Entry{Key: key(0, t, e.Key), Val: e.Val / total})
+			}
+		}
+	}
+	if useLDV {
+		for t := 0; t < threads; t++ {
+			sv = appendLDV(sv, &rd.LDV[t], t, o)
+		}
+	}
+	// BBV block keys wider than featBits are truncated by key(), which can
+	// break the emitted order and collide features; restore the sorted
+	// invariant (colliding features sum, the map-era semantics). Ordinary
+	// traces never take this branch — block IDs are far below 2^48 — so the
+	// fast path pays one sortedness scan.
+	if !sortedStrict(sv) {
+		sv = sparse.SortMerge(sv)
+	}
+	normalize(sv)
+	return sv
+}
+
+// sortedStrict reports whether sv's keys are strictly increasing.
+func sortedStrict(sv SV) bool {
+	for i := 1; i < len(sv); i++ {
+		if sv[i-1].Key >= sv[i].Key {
+			return false
+		}
+	}
+	return true
+}
+
+// appendLDV appends thread slot's weighted, normalized LDV entries in
+// bucket order (cold last, matching its key ldv.NumBuckets).
+func appendLDV(sv SV, h *ldv.Histogram, slot int, o Options) SV {
+	hh := *h
+	if o.LDVWeightV > 0 {
+		hh = hh.Weighted(o.LDVWeightV)
+	}
+	hh = hh.Normalized()
+	for n, w := range hh.Buckets {
+		if w != 0 {
+			sv = append(sv, sparse.Entry{Key: key(1, slot, uint64(n)), Val: w})
+		}
+	}
+	if hh.Cold != 0 {
+		sv = append(sv, sparse.Entry{Key: key(1, slot, uint64(ldv.NumBuckets)), Val: hh.Cold})
+	}
+	return sv
+}
+
+// buildSummed is the SumThreads ablation path: every thread lands on slot
+// 0, so features collide across threads and are accumulated before the
+// final sort and normalization.
+func buildSummed(rd *RegionData, o Options) SV {
+	threads := len(rd.BBV)
+	useBBV := o.Kind == BBVOnly || o.Kind == Combined
+	useLDV := o.Kind == LDVOnly || o.Kind == Combined
+
+	acc := sparse.NewAccumulator(64)
+	for t := 0; t < threads; t++ {
 		if useBBV {
-			n := rd.BBV[t].Normalized()
-			for id, w := range n {
-				sv[key(0, slot, uint64(id))] += w
+			v := rd.BBV[t]
+			total := v.Total()
+			if total != 0 {
+				for _, e := range v {
+					acc.Add(key(0, 0, e.Key), e.Val/total)
+				}
 			}
 		}
 		if useLDV {
-			h := rd.LDV[t]
+			hh := rd.LDV[t]
 			if o.LDVWeightV > 0 {
-				h = h.Weighted(o.LDVWeightV)
+				hh = hh.Weighted(o.LDVWeightV)
 			}
-			h = h.Normalized()
-			for n, w := range h.Buckets {
+			hh = hh.Normalized()
+			for n, w := range hh.Buckets {
 				if w != 0 {
-					sv[key(1, slot, uint64(n))] += w
+					acc.Add(key(1, 0, uint64(n)), w)
 				}
 			}
-			if h.Cold != 0 {
-				sv[key(1, slot, uint64(ldv.NumBuckets))] += h.Cold
+			if hh.Cold != 0 {
+				acc.Add(key(1, 0, uint64(ldv.NumBuckets)), hh.Cold)
 			}
 		}
 	}
+	sv := acc.AppendSorted(make(SV, 0, acc.Len()))
+	normalize(sv)
+	return sv
+}
 
-	// Overall L1 normalization.
+// normalize applies the overall L1 normalization in place.
+func normalize(sv SV) {
 	var total float64
-	for _, w := range sv {
-		total += w
+	for _, e := range sv {
+		total += e.Val
 	}
 	if total > 0 {
-		for k := range sv {
-			sv[k] /= total
+		for i := range sv {
+			sv[i].Val /= total
 		}
 	}
-	return sv
 }
 
 // BuildAll constructs signature vectors for every region, plus the region
@@ -156,21 +253,6 @@ func BuildAll(rds []*RegionData, o Options) (svs []SV, weights []float64) {
 }
 
 // Distance returns the L1 (Manhattan) distance between two signature
-// vectors; for normalized vectors it lies in [0, 2].
-func Distance(a, b SV) float64 {
-	var d float64
-	for k, av := range a {
-		bv := b[k]
-		if av > bv {
-			d += av - bv
-		} else {
-			d += bv - av
-		}
-	}
-	for k, bv := range b {
-		if _, ok := a[k]; !ok {
-			d += bv
-		}
-	}
-	return d
-}
+// vectors; for normalized vectors it lies in [0, 2]. Both vectors are
+// sorted, so this is a zero-allocation merge join.
+func Distance(a, b SV) float64 { return sparse.Distance(a, b) }

@@ -31,13 +31,7 @@ func mkData(threads int) *RegionData {
 	return rd
 }
 
-func mass(sv SV) float64 {
-	var s float64
-	for _, w := range sv {
-		s += w
-	}
-	return s
-}
+func mass(sv SV) float64 { return sv.Total() }
 
 func TestBuildNormalization(t *testing.T) {
 	for _, kind := range []Kind{BBVOnly, LDVOnly, Combined} {
@@ -110,12 +104,56 @@ func TestDistanceProperties(t *testing.T) {
 	}
 }
 
+// TestBuildWideBlockKeys: block IDs at or past 2^48 are truncated into the
+// 48-bit feature field by key(); Build must still emit a sorted,
+// duplicate-free SV with colliding features summed (the map-era
+// semantics), not a silently mis-ordered vector that breaks the merge-join
+// Distance.
+func TestBuildWideBlockKeys(t *testing.T) {
+	rd := &RegionData{
+		BBV: []bbv.Vector{bbv.FromMap(map[int]float64{
+			5:                      1,
+			9:                      2,
+			int(uint64(1)<<48 | 5): 3, // truncates to feature 5
+		})},
+	}
+	sv := Build(rd, Options{Kind: BBVOnly})
+	if !sortedStrict(sv) {
+		t.Fatalf("Build emitted an unsorted SV: %v", sv)
+	}
+	if len(sv) != 2 {
+		t.Fatalf("Build emitted %d entries, want 2 (colliding features merged): %v", len(sv), sv)
+	}
+	wantKeys := []uint64{key(0, 0, 5), key(0, 0, 9)}
+	wantVals := []float64{4.0 / 6, 2.0 / 6}
+	for i := range sv {
+		if sv[i].Key != wantKeys[i] || math.Abs(sv[i].Val-wantVals[i]) > 1e-12 {
+			t.Errorf("sv[%d] = %+v, want key %#x val %v", i, sv[i], wantKeys[i], wantVals[i])
+		}
+	}
+}
+
 func TestIdenticalRegionsZeroDistance(t *testing.T) {
 	a := Build(mkData(4), Default())
 	b := Build(mkData(4), Default())
 	if d := Distance(a, b); d > 1e-12 {
 		t.Errorf("identical regions have distance %v", d)
 	}
+}
+
+// TestDistanceZeroAllocs is the allocation-regression cap of the ISSUE:
+// the merge-join Distance never allocates.
+func TestDistanceZeroAllocs(t *testing.T) {
+	a := Build(mkData(4), Default())
+	b := Build(mkData(3), Default())
+	var sink float64
+	allocs := testing.AllocsPerRun(1000, func() {
+		sink += Distance(a, b)
+	})
+	if allocs != 0 {
+		t.Errorf("Distance allocates %.2f times per call, want 0", allocs)
+	}
+	_ = sink
 }
 
 func TestLabels(t *testing.T) {
@@ -136,6 +174,84 @@ func TestLabels(t *testing.T) {
 	}
 	if Kind(99).String() == "" {
 		t.Error("unknown kind has empty name")
+	}
+}
+
+// refBuild is a direct port of the seed's map-based Build, kept as the
+// equivalence reference for the flat sorted pipeline.
+func refBuild(rd *RegionData, o Options) map[uint64]float64 {
+	sv := make(map[uint64]float64)
+	threads := len(rd.BBV)
+	useBBV := o.Kind == BBVOnly || o.Kind == Combined
+	useLDV := o.Kind == LDVOnly || o.Kind == Combined
+	for t := 0; t < threads; t++ {
+		slot := t
+		if o.SumThreads {
+			slot = 0
+		}
+		if useBBV {
+			for id, w := range rd.BBV[t].Normalized().ToMap() {
+				sv[key(0, slot, uint64(id))] += w
+			}
+		}
+		if useLDV {
+			h := rd.LDV[t]
+			if o.LDVWeightV > 0 {
+				h = h.Weighted(o.LDVWeightV)
+			}
+			h = h.Normalized()
+			for n, w := range h.Buckets {
+				if w != 0 {
+					sv[key(1, slot, uint64(n))] += w
+				}
+			}
+			if h.Cold != 0 {
+				sv[key(1, slot, uint64(ldv.NumBuckets))] += h.Cold
+			}
+		}
+	}
+	var total float64
+	for _, w := range sv {
+		total += w
+	}
+	if total > 0 {
+		for k := range sv {
+			sv[k] /= total
+		}
+	}
+	return sv
+}
+
+// TestBuildMatchesMapReference proves the flat pipeline is equivalent to
+// the seed's map-based construction across kinds, weighting and thread
+// aggregation modes.
+func TestBuildMatchesMapReference(t *testing.T) {
+	opts := []Options{
+		{Kind: BBVOnly},
+		{Kind: LDVOnly},
+		{Kind: Combined},
+		{Kind: Combined, LDVWeightV: 2},
+		{Kind: Combined, SumThreads: true},
+		{Kind: BBVOnly, SumThreads: true},
+	}
+	for _, o := range opts {
+		for _, threads := range []int{1, 2, 4} {
+			rd := mkData(threads)
+			got := Build(rd, o)
+			want := FromMap(refBuild(rd, o))
+			if len(got) != len(want) {
+				t.Errorf("%v threads=%d: %d features, want %d", o, threads, len(got), len(want))
+				continue
+			}
+			if d := Distance(got, want); d > 1e-12 {
+				t.Errorf("%v threads=%d: distance to reference = %v", o, threads, d)
+			}
+			for i := 1; i < len(got); i++ {
+				if got[i-1].Key >= got[i].Key {
+					t.Fatalf("%v threads=%d: SV not strictly sorted at %d", o, threads, i)
+				}
+			}
+		}
 	}
 }
 

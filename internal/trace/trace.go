@@ -41,7 +41,11 @@ type BlockExec struct {
 // inter-barrier region.
 type Stream interface {
 	// Next fills be with the next block execution and reports whether one
-	// was available. Once Next returns false the stream is exhausted.
+	// was available. Once Next returns false the stream is exhausted and
+	// dead: callers must not call Next again. Implementations may recycle
+	// the stream's storage at that point (the replay cache pools its
+	// stream headers), so a post-exhaustion Next can observe an unrelated
+	// stream's state.
 	Next(be *BlockExec) bool
 }
 

@@ -1,0 +1,72 @@
+package tracefile
+
+import (
+	"path/filepath"
+	"testing"
+
+	"barrierpoint/internal/trace"
+	"barrierpoint/internal/workload"
+)
+
+// benchFile records a scaled npb-ft trace once per benchmark.
+func benchFile(b *testing.B, gz bool) *File {
+	b.Helper()
+	path := filepath.Join(b.TempDir(), "bench.bptrace")
+	prog := workload.New("npb-ft", 8, workload.WithScale(0.2))
+	if err := RecordFile(path, prog, WithGzip(gz)); err != nil {
+		b.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { f.Close() })
+	return f
+}
+
+// replayRegion drains every thread of one region.
+func replayRegion(r trace.Region, threads int) (blocks int) {
+	var be trace.BlockExec
+	for t := 0; t < threads; t++ {
+		s := r.Thread(t)
+		for s.Next(&be) {
+			blocks++
+		}
+	}
+	return blocks
+}
+
+// BenchmarkUncachedReplay is the cold path: one region streamed 8x, each
+// replay re-reading and re-decoding its chunks from the file.
+func BenchmarkUncachedReplay(b *testing.B) {
+	f := benchFile(b, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for rep := 0; rep < 8; rep++ {
+			if replayRegion(f.Region(3), f.Threads()) == 0 {
+				b.Fatal("empty region")
+			}
+		}
+	}
+}
+
+// BenchmarkRegionCacheReplay is the identical workload through a warm
+// RegionCache: the region is decoded once outside the timed section, then
+// every replay is served zero-copy from memory. The ratio to
+// BenchmarkUncachedReplay is the repeated-replay speedup reported in
+// BENCH_5.json.
+func BenchmarkRegionCacheReplay(b *testing.B) {
+	f := benchFile(b, true)
+	c := NewRegionCache(0)
+	p := c.Program(f, "bench-trace")
+	if replayRegion(p.Region(3), f.Threads()) == 0 { // warm the cache
+		b.Fatal("empty region")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for rep := 0; rep < 8; rep++ {
+			replayRegion(p.Region(3), f.Threads())
+		}
+	}
+}

@@ -79,6 +79,21 @@
 // Note the gzip flag changes the bytes, so a compressed and an uncompressed
 // recording of one program are distinct store entries by design.
 //
+// # Replay caching
+//
+// Replay is a cold decode by default: every Region/Thread call re-reads,
+// re-inflates (for gzip traces) and re-varint-decodes its chunk. Decoding
+// state is pooled process-wide — gzip inflaters and bufio buffers are
+// reused across streams — so even cold replay allocates only per-stream
+// bookkeeping. For workloads that replay regions repeatedly (warmup
+// capture, estimate+simulate pairs, campaign grids), RegionCache keeps
+// fully decoded regions in a byte-bounded LRU keyed by trace content, and
+// serves them as zero-copy, zero-allocation streams; see RegionCache for
+// the keying, bounding and equivalence contract. The cache defaults to
+// DefaultRegionCacheBytes (256 MiB) and is exposed as -replay-cache-mb on
+// cmd/bpserve and cmd/bpworker, and as barrierpoint.NewReplayCache in the
+// public API.
+//
 // # Versioning
 //
 // The format version lives in the leading magic ("BPTRACE1") and the

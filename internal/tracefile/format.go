@@ -77,6 +77,7 @@ func encodeChunk(buf []byte, s trace.Stream) ([]byte, error) {
 // its memory footprint is one bufio buffer regardless of chunk size.
 type chunkStream struct {
 	br        *bufio.Reader
+	cr        *chunkReader // pooled readers, returned when the stream ends
 	prevBlock int64
 	prevAddr  uint64
 	accs      []trace.Access
@@ -105,6 +106,8 @@ func (s *chunkStream) Next(be *trace.BlockExec) bool {
 		s.done = true
 		if err != io.EOF { // EOF at a record boundary is the clean end
 			s.fail(err)
+		} else {
+			s.releaseReader()
 		}
 		return false
 	}
@@ -167,6 +170,18 @@ func (s *chunkStream) fail(err error) {
 	s.done = true
 	if s.err == nil {
 		s.err = fmt.Errorf("tracefile: corrupt chunk: %w", err)
+	}
+	s.releaseReader()
+}
+
+// releaseReader returns the pooled chunk readers once the stream has no
+// further use for them (clean EOF or decode failure). The stream object
+// itself — including the Err state — stays valid for the caller.
+func (s *chunkStream) releaseReader() {
+	if s.cr != nil {
+		chunkReaderPool.Put(s.cr)
+		s.cr = nil
+		s.br = nil
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 
 	"barrierpoint/internal/trace"
 )
@@ -161,19 +162,46 @@ func (f *File) Region(i int) trace.Region {
 	return &fileRegion{f: f, idx: i}
 }
 
-// chunk returns a reader over the decoded bytes of chunk (region, tid).
-func (f *File) chunk(region, tid int) (io.Reader, error) {
-	i := region*f.threads + tid
-	sec := io.NewSectionReader(f.ra, f.offs[i], f.offs[i+1]-f.offs[i])
-	if !f.gzip {
-		return sec, nil
-	}
-	zr, err := gzip.NewReader(bufio.NewReader(sec))
-	if err != nil {
-		return nil, fmt.Errorf("tracefile: region %d thread %d: %w", region, tid, err)
-	}
-	return zr, nil
+// sectReader is a resettable equivalent of io.SectionReader, so a pooled
+// chunkReader carries no per-stream allocations.
+type sectReader struct {
+	ra       io.ReaderAt
+	off, end int64
 }
+
+func (r *sectReader) Read(p []byte) (int, error) {
+	if r.off >= r.end {
+		return 0, io.EOF
+	}
+	if max := r.end - r.off; int64(len(p)) > max {
+		p = p[:max]
+	}
+	n, err := r.ra.ReadAt(p, r.off)
+	r.off += int64(n)
+	return n, err
+}
+
+// chunkReader bundles the readers a replay stream needs — the bounded file
+// view, its bufio buffer, and (for compressed traces) the gzip inflater
+// plus its own bufio buffer. A fresh gzip.Reader costs ~40 KiB of window
+// and Huffman state per chunk, and the seed allocated one per thread per
+// region per replay; the pool reuses them across every stream opened by
+// any File in the process. chunkStream returns its reader to the pool when
+// the stream is exhausted or fails (abandoned streams are simply collected
+// by the GC and the pool refills on demand).
+type chunkReader struct {
+	sect sectReader
+	br   *bufio.Reader // over sect
+	zr   gzip.Reader   // over br (gzip traces only)
+	zbr  *bufio.Reader // over zr (gzip traces only)
+}
+
+var chunkReaderPool = sync.Pool{New: func() any {
+	return &chunkReader{
+		br:  bufio.NewReader(nil),
+		zbr: bufio.NewReader(nil),
+	}
+}}
 
 // Verify fully decodes every chunk, checking the encoding end to end.
 // Replay itself never requires this; it exists for integrity checks
@@ -197,11 +225,22 @@ func (f *File) Verify() error {
 }
 
 func (f *File) stream(region, tid int) (*chunkStream, error) {
-	r, err := f.chunk(region, tid)
-	if err != nil {
-		return nil, err
+	i := region*f.threads + tid
+	cr := chunkReaderPool.Get().(*chunkReader)
+	cr.sect = sectReader{ra: f.ra, off: f.offs[i], end: f.offs[i+1]}
+	cr.br.Reset(&cr.sect)
+	src := cr.br
+	if f.gzip {
+		if err := cr.zr.Reset(cr.br); err != nil {
+			chunkReaderPool.Put(cr)
+			return nil, fmt.Errorf("tracefile: region %d thread %d: %w", region, tid, err)
+		}
+		cr.zbr.Reset(&cr.zr)
+		src = cr.zbr
 	}
-	return newChunkStream(r), nil
+	s := newChunkStream(src)
+	s.cr = cr
+	return s, nil
 }
 
 // fileRegion is one on-disk inter-barrier region.

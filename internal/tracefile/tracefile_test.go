@@ -173,11 +173,9 @@ func TestRoundTripSuiteSignatures(t *testing.T) {
 					}
 				}
 
-				// Signature vectors are a function of the profiles, but
-				// their L1 normalization sums map entries in Go's random
-				// iteration order, so even two builds on the same input
-				// differ in the last ulp. Identical profiles plus
-				// ulp-tolerant SV equality is the strongest available check.
+				// Signature vectors are a deterministic function of the
+				// profiles (sorted flat construction), so identical
+				// profiles must produce entry-for-entry identical SVs.
 				wantSV, wantW := signature.BuildAll(want, signature.Default())
 				gotSV, gotW := signature.BuildAll(got, signature.Default())
 				if !reflect.DeepEqual(gotW, wantW) {
@@ -187,10 +185,10 @@ func TestRoundTripSuiteSignatures(t *testing.T) {
 					if len(gotSV[r]) != len(wantSV[r]) {
 						t.Fatalf("region %d: SV has %d features, want %d", r, len(gotSV[r]), len(wantSV[r]))
 					}
-					for k, w := range wantSV[r] {
-						g, ok := gotSV[r][k]
-						if !ok || math.Abs(g-w) > 1e-12 {
-							t.Fatalf("region %d feature %#x: SV weight %v, want %v", r, k, g, w)
+					for i, e := range wantSV[r] {
+						g := gotSV[r][i]
+						if g.Key != e.Key || math.Abs(g.Val-e.Val) > 1e-12 {
+							t.Fatalf("region %d feature %#x: SV entry %+v, want %+v", r, e.Key, g, e)
 						}
 					}
 				}
