@@ -51,6 +51,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -79,6 +80,7 @@ func run(args []string, stderr io.Writer) error {
 		leaseTTL = fs.Duration("farm-lease-ttl", 30*time.Second, "farm task lease duration (heartbeats renew it)")
 		retries  = fs.Int("farm-retries", 3, "farm task attempts before permanent failure")
 		replayMB = fs.Int64("replay-cache-mb", 256, "decoded-region replay cache budget, MiB (0 disables)")
+		walPath  = fs.String("wal", "", "farm queue write-ahead log path (default <store>/farm.wal; \"off\" disables durability)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -97,7 +99,25 @@ func run(args []string, stderr io.Writer) error {
 	} else {
 		mgr.SetReplayCacheBytes(*replayMB << 20)
 	}
-	mgr.SetFarm(farm.NewQueue(st, farm.Config{LeaseTTL: *leaseTTL, MaxAttempts: *retries}))
+	fcfg := farm.Config{LeaseTTL: *leaseTTL, MaxAttempts: *retries}
+	wal := *walPath
+	if wal == "" {
+		wal = filepath.Join(*storeDir, "farm.wal")
+	}
+	if wal == "off" {
+		mgr.SetFarm(farm.NewQueue(st, fcfg))
+	} else {
+		fq, recov, err := farm.NewDurableQueue(st, fcfg, wal)
+		if err != nil {
+			return fmt.Errorf("opening farm wal: %w", err)
+		}
+		if recov.Records > 0 {
+			fmt.Fprintf(stderr,
+				"bpserve: farm wal %s: replayed %d records (%d bytes torn tail dropped): %d pending, %d in-flight requeued, %d resolved from store\n",
+				wal, recov.Records, recov.Dropped, recov.Pending, recov.Requeued, recov.StoreHits)
+		}
+		mgr.SetFarm(fq)
+	}
 	srv := newServer(st, mgr)
 	srv.maxUpload = *maxMB << 20
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
@@ -155,6 +175,7 @@ func newServer(st *store.Store, mgr *service.Manager) *server {
 	s.vars.Set("replay_cache", expvar.Func(func() any { return s.mgr.ReplayCacheStats() }))
 	if q := mgr.Farm(); q != nil {
 		s.vars.Set("farm", expvar.Func(func() any { return q.Stats() }))
+		s.vars.Set("farm_recovery", expvar.Func(func() any { return q.Recovery() }))
 		s.mux.Handle("/farm/", farm.NewServer(q, st))
 	}
 

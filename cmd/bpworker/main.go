@@ -20,6 +20,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -97,20 +98,27 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	}
 	c := &farm.Client{Base: *server}
 
-	// The server may still be starting (CI launches both at once): retry
-	// registration briefly before giving up.
-	for attempt := 0; ; attempt++ {
-		if err = c.Register(*name); err == nil {
-			break
+	// The server may still be starting (CI launches both at once), or may
+	// be mid-restart when we need to re-register: retry registration
+	// briefly before giving up.
+	register := func() error {
+		for attempt := 0; ; attempt++ {
+			err := c.Register(*name)
+			if err == nil {
+				return nil
+			}
+			if attempt >= 20 || ctx.Err() != nil {
+				return fmt.Errorf("registering with %s: %w", *server, err)
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(250 * time.Millisecond):
+			}
 		}
-		if attempt >= 20 || ctx.Err() != nil {
-			return fmt.Errorf("registering with %s: %w", *server, err)
-		}
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		case <-time.After(250 * time.Millisecond):
-		}
+	}
+	if err := register(); err != nil {
+		return err
 	}
 	fmt.Fprintf(stderr, "bpworker: registered as %s (%s) with %s, concurrency %d\n",
 		c.Worker, *name, *server, *concurrency)
@@ -132,8 +140,23 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		}
 		tasks, err := c.Lease(want)
 		if err != nil {
-			// Transient server trouble: back off and retry rather than
-			// dying mid-fleet.
+			if errors.Is(err, farm.ErrServerRestarted) {
+				// The coordinator restarted: our worker id and leases are
+				// void, but its write-ahead log already requeued whatever
+				// we held. Re-register under the new epoch and keep
+				// serving instead of exiting mid-fleet. Results of tasks
+				// still simulating upload fine — completion is accepted
+				// idempotently from any worker id.
+				fmt.Fprintln(stderr, "bpworker: coordinator restarted, re-registering")
+				if rerr := register(); rerr != nil {
+					return rerr
+				}
+				fmt.Fprintf(stderr, "bpworker: re-registered as %s\n", c.Worker)
+				continue
+			}
+			// Transient server trouble (including the restart window while
+			// the new coordinator comes up): back off and retry rather
+			// than dying mid-fleet.
 			fmt.Fprintf(stderr, "bpworker: lease: %v\n", err)
 			select {
 			case <-ctx.Done():

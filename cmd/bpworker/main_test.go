@@ -3,9 +3,11 @@ package main
 import (
 	"bytes"
 	"context"
+	"net/http"
 	"net/http/httptest"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -101,6 +103,91 @@ func TestWorkerProcessesTasks(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "registered as") {
 		t.Fatalf("missing registration log:\n%s", stderr.String())
+	}
+}
+
+// TestWorkerSurvivesCoordinatorRestart restarts the coordinator under a
+// live worker: after finishing one task the worker's next lease hits a
+// queue from a new life (new epoch). It must detect the restart,
+// re-register, and keep working — not exit.
+func TestWorkerSurvivesCoordinatorRestart(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tracefile.Record(&buf, workload.New("npb-is", 8, workload.WithScale(0.05))); err != nil {
+		t.Fatal(err)
+	}
+	key, _, err := st.PutTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The coordinator's handler is swappable, so a "restart" keeps the URL
+	// the worker connected to.
+	q1 := farm.NewQueue(st, farm.Config{LeaseTTL: 5 * time.Second})
+	var handler atomic.Value
+	handler.Store(farm.NewServer(q1, st))
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handler.Load().(http.Handler).ServeHTTP(w, r)
+	}))
+	t.Cleanup(srv.Close)
+
+	tk1, err := q1.Enqueue(farm.Spec{TraceKey: key, Region: 1, Sockets: 1, Warmup: "mru"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	var stderr bytes.Buffer
+	workerErr := make(chan error, 1)
+	go func() {
+		workerErr <- run(ctx, []string{
+			"-server", srv.URL,
+			"-store", filepath.Join(t.TempDir(), "wstore"),
+			"-name", "restart-test-worker",
+			"-poll", "10ms",
+			"-max-tasks", "2",
+		}, &stderr)
+	}()
+
+	select {
+	case <-tk1.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatalf("first task unresolved; stderr:\n%s", stderr.String())
+	}
+	if _, err := tk1.Result(); err != nil {
+		t.Fatalf("first task failed: %v", err)
+	}
+
+	// Restart: a brand-new queue (new epoch) behind the same URL.
+	q2 := farm.NewQueue(st, farm.Config{LeaseTTL: 5 * time.Second})
+	t.Cleanup(q2.Close)
+	handler.Store(farm.NewServer(q2, st))
+	q1.Close()
+	tk2, err := q2.Enqueue(farm.Spec{TraceKey: key, Region: 2, Sockets: 1, Warmup: "mru"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case <-tk2.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatalf("task after restart unresolved; stderr:\n%s", stderr.String())
+	}
+	if _, err := tk2.Result(); err != nil {
+		t.Fatalf("task after restart failed: %v", err)
+	}
+	if err := <-workerErr; err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "coordinator restarted, re-registering") {
+		t.Fatalf("worker never logged the restart:\n%s", stderr.String())
+	}
+	if workers := q2.Workers(); len(workers) != 1 || workers[0].Completed != 1 {
+		t.Fatalf("second-life fleet state: %+v", workers)
 	}
 }
 

@@ -69,4 +69,60 @@
 // no longer recognizes as the worker's; the worker must abandon those
 // tasks (their results would still be accepted, but the work is likely
 // being redone elsewhere).
+//
+// # Durability
+//
+// NewDurableQueue journals every state transition to a write-ahead log
+// (store.WAL) before applying it in memory, so a coordinator killed -9
+// mid-campaign restarts with exactly the queued and in-flight tasks it
+// died with. NewQueue remains purely in-memory; cmd/bpserve opens the
+// durable variant by default at <store>/farm.wal (disable with -wal off).
+//
+// Record format: the log is a sequence of frames, each a 4-byte
+// little-endian payload length, a 4-byte little-endian CRC-32C
+// (Castagnoli) of the payload, and the payload itself — a JSON walRecord
+// with an "op" tag:
+//
+//	enqueue   {op, task{id, trace, region, sockets, warmup, artifact,
+//	           attempt}, failures?}   a task entered the queue (compaction
+//	                                  re-emits live tasks in this form)
+//	lease     {op, id, worker, attempt}   a worker took the task
+//	requeue   {op, id, msg}               a lease ended; task back to pending
+//	complete  {op, id}                    result stored as artifact; done
+//	fail      {op, id, msg}               attempts exhausted; failed for good
+//
+// Every append is fsynced before the transition is acknowledged, and the
+// in-memory apply happens only after the append returns — so the journal
+// is always at or ahead of memory, never behind. A crash between an
+// append and its apply is therefore safe in every direction: the record
+// describes work the caller was told had NOT happened yet (it got an
+// error), and replay converges on the journaled state, which Enqueue's
+// dedup then reconciles with the retrying caller. Complete orders its
+// effects store-first: the result artifact is durable before the
+// complete record is written, so a crash in between is healed at
+// recovery by checking the store for each live task's artifact.
+//
+// Recovery (NewDurableQueue on a non-empty log) replays the valid frame
+// prefix — a torn tail from a mid-append crash is detected by length/CRC
+// and truncated away — folding records into per-task state. Tasks still
+// pending re-enter the queue in their original order; tasks that were
+// leased re-enter pending immediately after them (their workers may be
+// gone; if not, their uploads are accepted idempotently), with the
+// interruption logged as an attempt failure; tasks whose result artifact
+// already reached the store resolve on the spot. Recovered tasks carry
+// fresh tickets with no waiters — a re-submitted job re-attaches through
+// Enqueue's dedup, so no simulation is lost or repeated.
+//
+// Each queue instance mints a random epoch embedded in the worker ids it
+// issues and echoed in register/lease responses. A worker leasing from a
+// restarted coordinator sees the epoch change (ErrServerRestarted),
+// re-registers, and keeps working; the queue likewise refuses to lease
+// to ids minted by a previous life.
+//
+// Compaction: the journal is rewritten (atomically, via temp file and
+// rename) to just the live tasks — one enqueue record each, plus a lease
+// record for tasks out on a worker — once it holds at least 1024 records
+// and at least 4 records per live task, and always once at startup after
+// replay. Compacted history is gone by design: the log's only job is to
+// reconstruct live state, not to audit finished work.
 package farm

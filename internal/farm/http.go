@@ -63,6 +63,10 @@ type registerRequest struct {
 type registerResponse struct {
 	Worker  string `json:"worker"`
 	LeaseMs int64  `json:"lease_ms"`
+	// Epoch identifies the queue instance; it changes when the
+	// coordinator restarts, voiding worker ids and leases handed out
+	// before.
+	Epoch string `json:"epoch,omitempty"`
 }
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
@@ -76,6 +80,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, registerResponse{
 		Worker:  s.q.Register(req.Name),
 		LeaseMs: s.q.LeaseTTL().Milliseconds(),
+		Epoch:   s.q.Epoch(),
 	})
 }
 
@@ -87,6 +92,7 @@ type leaseRequest struct {
 type leaseResponse struct {
 	Tasks   []Task `json:"tasks"`
 	LeaseMs int64  `json:"lease_ms"`
+	Epoch   string `json:"epoch,omitempty"`
 }
 
 func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
@@ -102,7 +108,7 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 	if tasks == nil {
 		tasks = []Task{}
 	}
-	s.writeJSON(w, http.StatusOK, leaseResponse{Tasks: tasks, LeaseMs: s.q.LeaseTTL().Milliseconds()})
+	s.writeJSON(w, http.StatusOK, leaseResponse{Tasks: tasks, LeaseMs: s.q.LeaseTTL().Milliseconds(), Epoch: s.q.Epoch()})
 }
 
 type heartbeatRequest struct {
@@ -213,6 +219,10 @@ type Client struct {
 	Worker string
 	// LeaseTTL is the server's lease duration, set by Register/Lease.
 	LeaseTTL time.Duration
+	// Epoch is the queue-instance tag observed at Register; a Lease
+	// response carrying a different epoch means the coordinator restarted
+	// and Lease returns ErrServerRestarted so the caller re-registers.
+	Epoch string
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -261,14 +271,22 @@ func (c *Client) Register(name string) error {
 	}
 	c.Worker = resp.Worker
 	c.LeaseTTL = time.Duration(resp.LeaseMs) * time.Millisecond
+	c.Epoch = resp.Epoch
 	return nil
 }
 
-// Lease asks for up to max tasks.
+// Lease asks for up to max tasks. If the server's queue epoch no longer
+// matches the one Register observed, the coordinator restarted — the
+// worker id is stale and any held leases are void (the recovered queue
+// already requeued them) — and Lease returns ErrServerRestarted without
+// taking tasks; the caller should Register again and retry.
 func (c *Client) Lease(max int) ([]Task, error) {
 	var resp leaseResponse
 	if err := c.post("/farm/lease", leaseRequest{Worker: c.Worker, Max: max}, &resp); err != nil {
 		return nil, err
+	}
+	if resp.Epoch != "" && c.Epoch != "" && resp.Epoch != c.Epoch {
+		return nil, ErrServerRestarted
 	}
 	c.LeaseTTL = time.Duration(resp.LeaseMs) * time.Millisecond
 	return resp.Tasks, nil

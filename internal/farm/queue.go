@@ -2,6 +2,8 @@ package farm
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -27,6 +29,11 @@ var (
 	// RegionResult — a client bug, as opposed to a server-side store
 	// failure.
 	ErrBadResult = errors.New("farm: bad result payload")
+	// ErrServerRestarted reports that the server answering a client's
+	// request carries a different queue epoch than the one the client
+	// registered with: the coordinator restarted, old worker ids and
+	// leases are void, and the client should re-register.
+	ErrServerRestarted = errors.New("farm: server restarted (queue epoch changed)")
 )
 
 // Spec describes one point-simulation task to enqueue: simulate region
@@ -114,6 +121,11 @@ type Stats struct {
 	Pending       int   `json:"tasks_pending"`
 	Leased        int   `json:"tasks_leased"`
 	LiveWorkers   int   `json:"live_workers"`
+	// Write-ahead-log activity; all zero for in-memory queues.
+	WALAppends     int64 `json:"wal_appends"`
+	WALErrors      int64 `json:"wal_errors"`
+	WALCompactions int64 `json:"wal_compactions"`
+	WALBytes       int64 `json:"wal_bytes"`
 }
 
 // Config tunes a Queue.
@@ -141,13 +153,22 @@ func (c Config) withDefaults() Config {
 }
 
 // Queue is a lease-based work queue of point-simulation tasks over one
-// content-addressed store. All methods are safe for concurrent use. The
-// queue is in-memory: tasks do not survive a server restart, but their
-// results do — completed work lands in the store, so a restarted server
-// re-enqueues only the points that never finished.
+// content-addressed store. All methods are safe for concurrent use.
+// NewQueue builds an in-memory queue: tasks do not survive a server
+// restart, but their results do — completed work lands in the store, so a
+// restarted server re-enqueues only the points that never finished.
+// NewDurableQueue additionally journals every transition to a write-ahead
+// log and rebuilds pending and in-flight tasks from it on startup (see
+// wal.go and the package documentation's Durability section).
 type Queue struct {
 	st  *store.Store
 	cfg Config
+
+	// epoch identifies this queue instance: a random tag embedded in
+	// worker ids and echoed in protocol responses, so clients detect a
+	// coordinator restart (their epoch no longer matches) and re-register
+	// instead of carrying void leases. Immutable after construction.
+	epoch string
 
 	mu      sync.Mutex
 	tasks   map[string]*task // live (queued or leased) tasks by id
@@ -157,6 +178,16 @@ type Queue struct {
 	seq     int
 	wseq    int
 	closed  bool
+
+	// wal, when set, journals every task transition before it is applied;
+	// walRecs counts records since the last compaction and recovery holds
+	// what replay rebuilt. crashHook is a test seam invoked between a WAL
+	// append and its in-memory apply — returning an error simulates a
+	// crash exactly on that edge.
+	wal       *store.WAL
+	walRecs   int
+	recovery  Recovery
+	crashHook func(op string) error
 
 	stats     Stats
 	stopSweep chan struct{}
@@ -176,20 +207,42 @@ func (q *Queue) replayCache() *bp.ReplayCache {
 	return q.replay
 }
 
-// NewQueue creates a queue over st and starts its expired-lease sweeper.
+// NewQueue creates an in-memory queue over st and starts its
+// expired-lease sweeper. For a queue that survives restarts, use
+// NewDurableQueue.
 func NewQueue(st *store.Store, cfg Config) *Queue {
-	q := &Queue{
+	q := newQueue(st, cfg)
+	go q.sweep()
+	return q
+}
+
+// newQueue builds the queue without starting the sweeper, so
+// NewDurableQueue can replay its journal into it first.
+func newQueue(st *store.Store, cfg Config) *Queue {
+	return &Queue{
 		st:        st,
 		cfg:       cfg.withDefaults(),
+		epoch:     newEpoch(),
 		tasks:     make(map[string]*task),
 		byDedup:   make(map[string]*task),
 		workers:   make(map[string]*workerState),
 		stopSweep: make(chan struct{}),
 		sweepDone: make(chan struct{}),
 	}
-	go q.sweep()
-	return q
 }
+
+// newEpoch draws a random instance tag for worker ids and restart
+// detection.
+func newEpoch() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "00000000" // degraded but functional: restart detection off
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Epoch identifies this queue instance; it changes on every restart.
+func (q *Queue) Epoch() string { return q.epoch }
 
 // LeaseTTL returns the queue's lease duration.
 func (q *Queue) LeaseTTL() time.Duration { return q.cfg.LeaseTTL }
@@ -219,25 +272,41 @@ func (q *Queue) requeueExpiredLocked(now time.Time) {
 		}
 		q.stats.Expired++
 		msg := fmt.Sprintf("attempt %d: lease expired on worker %s", t.Attempt, t.worker)
-		q.endAttemptLocked(t, msg)
+		// A journal error leaves the task leased-and-expired; the next
+		// sweep retries the transition.
+		_ = q.endAttemptLocked(t, msg)
 	}
 }
 
 // endAttemptLocked records a failed attempt and either requeues the task
-// or fails it permanently; q.mu must be held.
-func (q *Queue) endAttemptLocked(t *task, msg string) {
-	t.failures = append(t.failures, msg)
-	t.leased = false
-	t.worker = ""
+// or fails it permanently; q.mu must be held. The runtime — not replay —
+// owns the requeue-vs-fail decision, so the journal records which one was
+// taken; if the journal append fails the task is left untouched (still
+// leased) and the error returned, and the expiry sweeper retries the
+// transition on its next pass.
+func (q *Queue) endAttemptLocked(t *task, msg string) error {
 	if t.Attempt >= q.cfg.MaxAttempts {
+		if err := q.appendWALLocked(walRecord{Op: opFail, ID: t.ID, Msg: msg}); err != nil {
+			return err
+		}
+		t.failures = append(t.failures, msg)
+		t.leased = false
+		t.worker = ""
 		q.finishLocked(t, bp.RegionResult{}, fmt.Errorf(
 			"farm: task %s (trace %.12s region %d) failed after %d attempts: %s",
 			t.ID, t.TraceKey, t.Region, t.Attempt, joinFailures(t.failures)))
 		q.stats.Failed++
-		return
+		return nil
 	}
+	if err := q.appendWALLocked(walRecord{Op: opRequeue, ID: t.ID, Msg: msg}); err != nil {
+		return err
+	}
+	t.failures = append(t.failures, msg)
+	t.leased = false
+	t.worker = ""
 	q.stats.Retries++
 	q.pending = append(q.pending, t)
+	return nil
 }
 
 func joinFailures(fs []string) string {
@@ -313,6 +382,11 @@ func (q *Queue) Enqueue(sp Spec) (*Ticket, error) {
 		dedup:  dedup,
 		ticket: &Ticket{Region: sp.Region, done: make(chan struct{})},
 	}
+	// Journal before acknowledging: a crash after this append recovers
+	// the task; an append error rejects the enqueue without applying it.
+	if err := q.appendWALLocked(walRecord{Op: opEnqueue, Task: &t.Task}); err != nil {
+		return nil, err
+	}
 	q.tasks[t.ID] = t
 	q.byDedup[dedup] = t
 	q.pending = append(q.pending, t)
@@ -327,9 +401,30 @@ func (q *Queue) Register(name string) string {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.wseq++
-	id := fmt.Sprintf("w-%06d", q.wseq)
+	// The epoch in the id keeps ids from a previous coordinator life from
+	// colliding with this one's (wseq restarts at 1 after a recovery).
+	id := fmt.Sprintf("w-%s-%04d", q.epoch, q.wseq)
 	q.workers[id] = &workerState{info: WorkerInfo{ID: id, Name: name, LastSeen: time.Now()}}
 	return id
+}
+
+// staleWorkerLocked reports whether id is an epoch-tagged worker id
+// minted by a different queue instance. Free-form ids (anything not
+// matching "w-<8 hex>-…") are never stale — leasing with an unknown id
+// auto-registers, which tests and ad-hoc clients rely on.
+func (q *Queue) staleWorkerLocked(id string) bool {
+	const tagLen = len("w-") + 8
+	if len(id) < tagLen+1 || id[:2] != "w-" || id[tagLen] != '-' {
+		return false
+	}
+	epoch := id[2:tagLen]
+	for i := 0; i < len(epoch); i++ {
+		c := epoch[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return epoch != q.epoch
 }
 
 func (q *Queue) touchWorkerLocked(id string, now time.Time) *workerState {
@@ -354,6 +449,13 @@ func (q *Queue) Lease(workerID string, max int) []Task {
 	if q.closed {
 		return nil
 	}
+	if q.staleWorkerLocked(workerID) {
+		// An epoch-tagged id from a previous coordinator life: hand it
+		// nothing (its client is about to see the epoch change and
+		// re-register) rather than leasing work to an identity that is
+		// about to be abandoned.
+		return nil
+	}
 	q.touchWorkerLocked(workerID, now)
 	q.requeueExpiredLocked(now)
 	var out []Task
@@ -362,6 +464,16 @@ func (q *Queue) Lease(workerID string, max int) []Task {
 		q.pending = q.pending[1:]
 		if q.tasks[t.ID] != t || t.leased {
 			continue // finished or re-leased since it entered pending
+		}
+		// Journal the lease (with its attempt number, so a compacted log
+		// replays to the same count) before handing the task out. On an
+		// append error the task goes back to the front of the queue and no
+		// more work is handed out this call; if the record did land before
+		// the error, recovery sees an in-flight lease and requeues it —
+		// both sides converge on "not leased".
+		if err := q.appendWALLocked(walRecord{Op: opLease, ID: t.ID, Worker: workerID, Attempt: t.Attempt + 1}); err != nil {
+			q.pending = append([]*task{t}, q.pending...)
+			break
 		}
 		t.leased = true
 		t.worker = workerID
@@ -422,6 +534,14 @@ func (q *Queue) Complete(workerID, id string, resultJSON []byte) error {
 	if cur, ok := q.tasks[id]; !ok || cur != t {
 		return nil // raced with another completion
 	}
+	// The artifact is already durable in the store; the journal's complete
+	// record makes the queue agree. If this append fails the worker gets
+	// an error and retries the idempotent upload — and even a crash right
+	// here recovers cleanly, because replay re-checks the store for the
+	// artifact and resolves the task without re-running it.
+	if err := q.appendWALLocked(walRecord{Op: opComplete, ID: id}); err != nil {
+		return err
+	}
 	q.stats.Completed++
 	w.info.Completed++
 	q.finishLocked(t, res, nil)
@@ -445,8 +565,7 @@ func (q *Queue) Fail(workerID, id, msg string) error {
 		return nil
 	}
 	w.info.Failed++
-	q.endAttemptLocked(t, fmt.Sprintf("attempt %d on worker %s: %s", t.Attempt, workerID, msg))
-	return nil
+	return q.endAttemptLocked(t, fmt.Sprintf("attempt %d on worker %s: %s", t.Attempt, workerID, msg))
 }
 
 // LiveWorkers counts workers seen within three lease TTLs — the signal
@@ -505,16 +624,20 @@ func (q *Queue) Stats() Stats {
 		}
 	}
 	s.LiveWorkers = q.liveWorkersLocked(time.Now())
+	if q.wal != nil {
+		s.WALBytes = q.wal.Size()
+	}
 	return s
 }
 
 // Close shuts the queue down: leased tasks are requeued (counted in
-// Stats.RequeuedClose — with an in-memory queue this matters for
-// accounting and symmetry with a future persistent queue, not for
-// recovery), every outstanding ticket fails promptly with ErrClosed, and
-// the sweeper stops. Close is idempotent. Completed results remain in the
-// store, so re-running the same jobs after a restart redoes only the
-// points that never finished.
+// Stats.RequeuedClose), every outstanding ticket fails promptly with
+// ErrClosed, and the sweeper stops. Close is idempotent. Completed
+// results remain in the store, so re-running the same jobs after a
+// restart redoes only the points that never finished. A durable queue
+// deliberately journals nothing here — its live tasks stay in the
+// write-ahead log, so the next NewDurableQueue over the same path
+// recovers them; only the file handle is released.
 func (q *Queue) Close() {
 	q.mu.Lock()
 	if q.closed {
@@ -532,6 +655,9 @@ func (q *Queue) Close() {
 		q.finishLocked(t, bp.RegionResult{}, ErrClosed)
 	}
 	q.pending = nil
+	if q.wal != nil {
+		q.wal.Close()
+	}
 	close(q.stopSweep)
 	q.mu.Unlock()
 	<-q.sweepDone

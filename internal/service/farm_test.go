@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -176,6 +177,119 @@ func TestShutdownRequeuesFarmedTasks(t *testing.T) {
 	}
 	if s := q.Stats(); s.RequeuedClose != 1 {
 		t.Fatalf("leased task not requeued on close: %+v", s)
+	}
+}
+
+// TestFarmedEstimateResumesRecoveredQueue is the durability acceptance
+// test at the service layer: a coordinator dies with a farmed estimate's
+// tasks queued and in flight, a new coordinator rebuilds the queue from
+// the write-ahead log, the re-submitted job re-attaches to every
+// recovered task instead of re-enqueueing, and the finished estimate is
+// byte-identical to a run that was never interrupted.
+func TestFarmedEstimateResumesRecoveredQueue(t *testing.T) {
+	st, key := newTestStore(t)
+	walPath := filepath.Join(st.Root(), "farm.wal")
+	cfg := farm.Config{LeaseTTL: time.Hour} // recovery, not TTL expiry, must requeue the lease
+
+	q1, rec, err := farm.NewDurableQueue(st, cfg, walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec != (farm.Recovery{}) {
+		t.Fatalf("fresh wal reported recovery %+v", rec)
+	}
+	m1 := New(st, 2, 0)
+	m1.SetFarm(q1)
+
+	// First life: the job enqueues its per-point tasks, a phantom worker
+	// leases one, no one ever completes anything.
+	req := Request{Kind: KindEstimate, Trace: key, Warmup: "mru", Exec: ExecFarm}
+	if _, err := m1.Submit(req); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if tasks := q1.Lease("phantom", 1); len(tasks) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never enqueued a task")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// The coordinator "dies": an expired shutdown context tears it down
+	// without waiting for the farmed job. Close journals nothing — the
+	// queued and leased tasks stay in the log for the next life. (The job
+	// may have been mid-enqueue when it died; whatever made it into the
+	// journal — read after Close, when the count is final — must recover.)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	err = m1.Shutdown(ctx)
+	cancel()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("first-life Shutdown = %v, want DeadlineExceeded", err)
+	}
+	enqueuedBefore := q1.Stats().Enqueued
+
+	// Second life: replay the journal.
+	q2, rec, err := farm.NewDurableQueue(st, cfg, walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(rec.Pending+rec.Requeued) != enqueuedBefore {
+		t.Fatalf("recovered %d+%d tasks, want all %d enqueued before the crash",
+			rec.Pending, rec.Requeued, enqueuedBefore)
+	}
+	if rec.Requeued != 1 {
+		t.Fatalf("recovery = %+v, want the phantom's lease requeued", rec)
+	}
+	m2 := New(st, 2, 0)
+	m2.SetFarm(q2)
+	defer m2.Shutdown(context.Background())
+	if got := m2.Stats().FarmRecovered; got != enqueuedBefore {
+		t.Fatalf("farm_tasks_recovered = %d, want %d", got, enqueuedBefore)
+	}
+
+	// Re-submitting the same request must re-attach to every recovered
+	// task, not duplicate it. No workers run yet, so the dedup count is
+	// exact once the job's enqueue pass finishes.
+	snap, err := m2.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(20 * time.Second)
+	for q2.Stats().DedupInflight != enqueuedBefore {
+		if time.Now().After(deadline) {
+			t.Fatalf("re-submit deduped %d tasks onto the %d recovered ones (stats %+v)",
+				q2.Stats().DedupInflight, enqueuedBefore, q2.Stats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	wctx, wcancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer wcancel()
+	for i := 0; i < 2; i++ {
+		go farm.RunLocalWorker(wctx, q2, st, "second-life")
+	}
+	done, err := m2.Wait(wctx, snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Status != StatusDone {
+		t.Fatalf("resumed job failed: %s", done.Error)
+	}
+
+	// And the interruption left no trace in the result: byte-identical to
+	// a never-crashed local run on a fresh store.
+	st2, key2 := newTestStore(t)
+	m3 := New(st2, 2, 0)
+	defer m3.Shutdown(context.Background())
+	local := submitAndWait(t, m3, Request{Kind: KindEstimate, Trace: key2, Warmup: "mru", Exec: ExecLocal})
+	if local.Status != StatusDone {
+		t.Fatalf("local job failed: %s", local.Error)
+	}
+	if !bytes.Equal(done.Result, local.Result) {
+		t.Fatalf("recovered estimate differs from uninterrupted local run:\nrecovered: %s\nlocal:     %s",
+			done.Result, local.Result)
 	}
 }
 

@@ -88,6 +88,9 @@ type Stats struct {
 	CacheHits    int64 `json:"cache_hits"`
 	ColdAnalyses int64 `json:"cold_analyses"`
 	Farmed       int64 `json:"jobs_farmed"`
+	// FarmRecovered counts tasks the attached farm queue rebuilt from its
+	// write-ahead log at startup (pending + requeued in-flight leases).
+	FarmRecovered int64 `json:"farm_tasks_recovered"`
 }
 
 // Errors returned by Submit.
@@ -143,6 +146,7 @@ type Manager struct {
 	closed   bool
 
 	submitted, deduped, done, failed, cacheHits, coldAnalyses, farmed atomic.Int64
+	farmRecovered                                                     atomic.Int64
 }
 
 // New starts a manager with the given worker count (GOMAXPROCS if <= 0)
@@ -178,8 +182,18 @@ func (m *Manager) Store() *store.Store { return m.st }
 
 // SetFarm attaches a distributed work queue; estimates may then farm
 // their barrierpoint simulations out to registered workers. Call it once,
-// before the first Submit.
-func (m *Manager) SetFarm(q *farm.Queue) { m.farm = q }
+// before the first Submit. A durable queue (farm.NewDurableQueue) may
+// arrive already holding tasks recovered from its write-ahead log; a
+// re-submitted estimate job re-attaches to them through the queue's
+// TraceKey+artifact dedup in Enqueue, so a coordinator restart loses no
+// queued or in-flight simulation work.
+func (m *Manager) SetFarm(q *farm.Queue) {
+	m.farm = q
+	if q != nil {
+		rec := q.Recovery()
+		m.farmRecovered.Store(int64(rec.Pending + rec.Requeued))
+	}
+}
 
 // Farm returns the attached work queue, or nil when execution is
 // local-only.
@@ -203,13 +217,14 @@ func (m *Manager) ReplayCacheStats() bp.ReplayCacheStats { return m.replay.Stats
 // Stats returns activity counters.
 func (m *Manager) Stats() Stats {
 	return Stats{
-		Submitted:    m.submitted.Load(),
-		Deduped:      m.deduped.Load(),
-		Done:         m.done.Load(),
-		Failed:       m.failed.Load(),
-		CacheHits:    m.cacheHits.Load(),
-		ColdAnalyses: m.coldAnalyses.Load(),
-		Farmed:       m.farmed.Load(),
+		Submitted:     m.submitted.Load(),
+		Deduped:       m.deduped.Load(),
+		Done:          m.done.Load(),
+		Failed:        m.failed.Load(),
+		CacheHits:     m.cacheHits.Load(),
+		ColdAnalyses:  m.coldAnalyses.Load(),
+		Farmed:        m.farmed.Load(),
+		FarmRecovered: m.farmRecovered.Load(),
 	}
 }
 
@@ -378,7 +393,9 @@ func (m *Manager) Wait(ctx context.Context, id string) (Snapshot, error) {
 // requeued and every farmed job blocked on them fails promptly with
 // farm.ErrClosed instead of hanging until lease TTLs expire — their
 // completed points are already cached in the store, so a retry after
-// restart redoes only the unfinished ones.
+// restart redoes only the unfinished ones. A durable farm queue keeps its
+// live tasks journaled in the write-ahead log across Close, so the next
+// coordinator recovers them outright.
 func (m *Manager) Shutdown(ctx context.Context) error {
 	m.mu.Lock()
 	if !m.closed {

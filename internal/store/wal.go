@@ -1,0 +1,277 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// This file is the store's write-ahead-log layer: an append-only record
+// file with per-record framing and checksums, used by internal/farm to
+// make the work queue's control-plane state durable. It follows the same
+// discipline as every other store write — atomic visibility — but where
+// PutArtifact and PutCampaign rewrite whole values via temp-file+rename,
+// a WAL appends incrementally and fsyncs each record, so a crash at any
+// byte offset leaves a valid prefix of records followed by at most one
+// torn frame, which open-time validation truncates away.
+//
+// # Frame format
+//
+// Each record is framed as
+//
+//	4 bytes  little-endian uint32   payload length n
+//	4 bytes  little-endian uint32   CRC-32C (Castagnoli) of the payload
+//	n bytes  payload
+//
+// Replay reads frames until the first frame that is truncated, oversized
+// or fails its checksum; everything after that point is discarded. The
+// payload encoding is the caller's business (internal/farm uses JSON).
+
+// walMaxRecord bounds a single record's payload. Real queue records are a
+// few hundred bytes; the cap keeps a corrupted length field from forcing
+// a pathological allocation during replay.
+const walMaxRecord = 16 << 20
+
+// walCRC is the Castagnoli table used for record checksums.
+var walCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrWALBroken reports that a WAL hit an append error it could not roll
+// back from (the file may end in a torn frame); the log must be reopened
+// (revalidating the tail) before further appends.
+var ErrWALBroken = errors.New("store: wal broken by failed append")
+
+// walFrame encodes one record into its wire frame.
+func walFrame(payload []byte) []byte {
+	f := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(f[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(f[4:8], crc32.Checksum(payload, walCRC))
+	copy(f[8:], payload)
+	return f
+}
+
+// ReplayFrames reads WAL frames from r, calling fn for each intact record
+// in order. It returns the byte length of the valid prefix and the number
+// of records delivered. Reading stops — without error — at the first
+// truncated, oversized or checksum-failing frame: a torn tail is the
+// expected crash artifact, not corruption worth failing over. An error
+// from fn (or from r itself) aborts the replay and is returned.
+func ReplayFrames(r io.Reader, fn func(rec []byte) error) (validLen int64, n int, err error) {
+	br := &countReader{r: r}
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return validLen, n, nil // clean EOF or torn header: stop at the valid prefix
+		}
+		size := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if size > walMaxRecord {
+			return validLen, n, nil
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return validLen, n, nil // torn payload
+		}
+		if crc32.Checksum(payload, walCRC) != sum {
+			return validLen, n, nil
+		}
+		if fn != nil {
+			if err := fn(payload); err != nil {
+				return validLen, n, err
+			}
+		}
+		validLen = br.n
+		n++
+	}
+}
+
+// countReader tracks how many bytes have been consumed from r.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// ReplayWAL replays the log file at path; a missing file is an empty log.
+func ReplayWAL(path string, fn func(rec []byte) error) (validLen int64, n int, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	return ReplayFrames(f, fn)
+}
+
+// WALHooks intercepts a WAL's write path; it exists purely as a seam for
+// fault-injection tests (short writes, append errors, crash points
+// between a frame hitting the file and the caller applying it). Nil
+// fields mean default behavior.
+type WALHooks struct {
+	// WriteFrame, if set, replaces the frame write+sync. Returning an
+	// error (after optionally writing part of the frame to f) simulates a
+	// failed or torn append; the WAL then tries to truncate the partial
+	// frame away, exactly as it would after a real short write.
+	WriteFrame func(f *os.File, frame []byte) error
+}
+
+// WAL is an append-only, checksummed, fsync-per-record log. Appends are
+// not internally locked — callers (the farm queue) serialize them under
+// their own mutex, which also keeps the log ordered identically to the
+// in-memory state transitions it journals.
+type WAL struct {
+	path   string
+	f      *os.File
+	size   int64 // bytes of intact frames on disk
+	hooks  *WALHooks
+	broken bool
+}
+
+// OpenWAL opens (creating if needed) the log at path for appending. Any
+// torn frame left by a crash is truncated away first, so appends always
+// start at a record boundary. The parent directory is created if missing.
+func OpenWAL(path string) (*WAL, error) { return OpenWALHooked(path, nil) }
+
+// OpenWALHooked is OpenWAL with fault-injection hooks (tests only).
+func OpenWALHooked(path string, hooks *WALHooks) (*WAL, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	valid, _, err := ReplayWAL(path, nil)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if fi, err := f.Stat(); err == nil && fi.Size() > valid {
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: truncating torn wal tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &WAL{path: path, f: f, size: valid, hooks: hooks}, nil
+}
+
+// Path returns the log's file path.
+func (w *WAL) Path() string { return w.path }
+
+// Size returns the on-disk byte length of intact frames.
+func (w *WAL) Size() int64 { return w.size }
+
+// Append durably adds one record: the frame is written and fsynced before
+// Append returns, so an acknowledged record survives an immediate crash.
+// If the write fails partway, Append rolls the file back to the last
+// intact frame; if even that fails the WAL is marked broken and every
+// later append returns ErrWALBroken.
+func (w *WAL) Append(payload []byte) error {
+	if w.broken {
+		return ErrWALBroken
+	}
+	frame := walFrame(payload)
+	err := w.writeFrame(frame)
+	if err == nil {
+		w.size += int64(len(frame))
+		return nil
+	}
+	// Roll back whatever partial frame landed so the next append does not
+	// bury later records behind garbage the replay would stop at.
+	if terr := w.f.Truncate(w.size); terr != nil {
+		w.broken = true
+		return fmt.Errorf("store: wal append failed (%v) and rollback failed: %w", err, ErrWALBroken)
+	}
+	if _, serr := w.f.Seek(w.size, io.SeekStart); serr != nil {
+		w.broken = true
+		return fmt.Errorf("store: wal append failed (%v) and reseek failed: %w", err, ErrWALBroken)
+	}
+	return fmt.Errorf("store: wal append: %w", err)
+}
+
+func (w *WAL) writeFrame(frame []byte) error {
+	if w.hooks != nil && w.hooks.WriteFrame != nil {
+		return w.hooks.WriteFrame(w.f, frame)
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Rewrite atomically replaces the log's contents with the given records:
+// they are framed into a temp file in the same directory, fsynced, and
+// renamed over the log (the store-wide atomic-rewrite pattern), then the
+// WAL continues appending to the new file. This is the compaction
+// primitive — a crash at any point leaves either the old log or the new
+// one, never a mix.
+func (w *WAL) Rewrite(payloads [][]byte) error {
+	dir := filepath.Dir(w.path)
+	tmp, err := os.CreateTemp(dir, ".wal-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	var size int64
+	for _, p := range payloads {
+		frame := walFrame(p)
+		if _, err := tmp.Write(frame); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return fmt.Errorf("store: writing wal: %w", err)
+		}
+		size += int64(len(frame))
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), w.path); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	syncDir(dir)
+	old := w.f
+	w.f = tmp
+	w.size = size
+	w.broken = false
+	old.Close()
+	if _, err := w.f.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Close releases the file handle. The log itself stays on disk — that is
+// the point — and can be reopened with OpenWAL.
+func (w *WAL) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable; best-effort, as not every filesystem supports it.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
