@@ -1,12 +1,13 @@
 // Command benchjson converts `go test -bench` output into a compact JSON
-// benchmark record: op name → ns/op, B/op, allocs/op (averaged over
-// repeated -count runs). It backs the CI benchmark artifact (BENCH_5.json)
-// that seeds the project's measured-performance trajectory.
+// benchmark record: op name → ns/op, B/op, allocs/op plus any custom
+// b.ReportMetric units (averaged over repeated -count runs). It backs the
+// CI benchmark artifact (BENCH_<n>.json) that seeds the project's
+// measured-performance trajectory.
 //
 // Usage:
 //
-//	go test -run '^$' -bench ... -benchmem | go run ./cmd/benchjson -out BENCH_5.json
-//	go run ./cmd/benchjson -in bench.txt -out BENCH_5.json
+//	go test -run '^$' -bench ... -benchmem | go run ./cmd/benchjson -out BENCH_7.json
+//	go run ./cmd/benchjson -in bench.txt -out BENCH_7.json
 package main
 
 import (
@@ -33,6 +34,9 @@ type Metrics struct {
 	BPerOp      float64 `json:"b_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 	Samples     int     `json:"samples"`
+	// Extra holds custom b.ReportMetric units ("rounds/op",
+	// "points/op", ...), averaged like the standard three, keyed by unit.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Output is the BENCH_<n>.json document shape.
@@ -87,6 +91,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 func parse(r io.Reader) (Output, error) {
 	type acc struct {
 		ns, b, allocs float64
+		extra         map[string]float64
 		n             int
 	}
 	sums := make(map[string]*acc)
@@ -113,7 +118,7 @@ func parse(r io.Reader) (Output, error) {
 			if err != nil {
 				continue
 			}
-			switch fields[i+1] {
+			switch unit := fields[i+1]; unit {
 			case "ns/op":
 				a.ns += v
 				got = true
@@ -121,6 +126,14 @@ func parse(r io.Reader) (Output, error) {
 				a.b += v
 			case "allocs/op":
 				a.allocs += v
+			default:
+				// b.ReportMetric emits "<val> <unit>/op" for custom units.
+				if strings.HasSuffix(unit, "/op") {
+					if a.extra == nil {
+						a.extra = make(map[string]float64)
+					}
+					a.extra[unit] += v
+				}
 			}
 		}
 		if got {
@@ -138,12 +151,19 @@ func parse(r io.Reader) (Output, error) {
 		if a.n == 0 {
 			continue
 		}
-		o.Benchmarks[name] = Metrics{
+		m := Metrics{
 			NsPerOp:     a.ns / float64(a.n),
 			BPerOp:      a.b / float64(a.n),
 			AllocsPerOp: a.allocs / float64(a.n),
 			Samples:     a.n,
 		}
+		if a.extra != nil {
+			m.Extra = make(map[string]float64, len(a.extra))
+			for unit, sum := range a.extra {
+				m.Extra[unit] = sum / float64(a.n)
+			}
+		}
+		o.Benchmarks[name] = m
 	}
 	return o, nil
 }

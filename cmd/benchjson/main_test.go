@@ -18,6 +18,8 @@ BenchmarkProfiling              	      45	  22735103 ns/op	21747235 B/op	    498
 BenchmarkProfiling              	      44	  23146040 ns/op	21747243 B/op	    4986 allocs/op
 BenchmarkRegionCacheReplay-8    	    1000	     91000 ns/op	       0 B/op	       0 allocs/op
 BenchmarkTable1-8               	       2	 500000000 ns/op
+BenchmarkAdaptiveTargetCI-8     	       4	 120000000 ns/op	         5.000 rounds/op	        29.00 points/op
+BenchmarkAdaptiveTargetCI-8     	       4	 118000000 ns/op	         5.000 rounds/op	        27.00 points/op
 PASS
 ok  	barrierpoint	18.030s
 `
@@ -27,8 +29,8 @@ func TestParse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(o.Benchmarks) != 3 {
-		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(o.Benchmarks), o.Benchmarks)
+	if len(o.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %+v", len(o.Benchmarks), o.Benchmarks)
 	}
 	p := o.Benchmarks["BenchmarkProfiling"]
 	if p.Samples != 2 || math.Abs(p.NsPerOp-22940571.5) > 1 || math.Abs(p.AllocsPerOp-4985) > 0.01 {
@@ -40,6 +42,14 @@ func TestParse(t *testing.T) {
 	}
 	if tb := o.Benchmarks["BenchmarkTable1"]; tb.NsPerOp != 5e8 {
 		t.Errorf("BenchmarkTable1 wrong: %+v", tb)
+	}
+	if tb := o.Benchmarks["BenchmarkTable1"]; tb.Extra != nil {
+		t.Errorf("BenchmarkTable1 has custom metrics: %+v", tb)
+	}
+	// Custom b.ReportMetric units average like the standard columns.
+	ad := o.Benchmarks["BenchmarkAdaptiveTargetCI"]
+	if ad.Samples != 2 || ad.Extra["rounds/op"] != 5 || ad.Extra["points/op"] != 28 {
+		t.Errorf("BenchmarkAdaptiveTargetCI custom metrics wrong: %+v", ad)
 	}
 }
 
@@ -64,7 +74,10 @@ func TestRunEndToEnd(t *testing.T) {
 	if err := json.Unmarshal(b, &o); err != nil {
 		t.Fatal(err)
 	}
-	if o.Note != "test run" || len(o.Benchmarks) != 3 {
+	if o.Note != "test run" || len(o.Benchmarks) != 4 {
 		t.Errorf("document wrong: %+v", o)
+	}
+	if o.Benchmarks["BenchmarkAdaptiveTargetCI"].Extra["rounds/op"] != 5 {
+		t.Errorf("custom metric lost in round-trip: %+v", o.Benchmarks["BenchmarkAdaptiveTargetCI"])
 	}
 }

@@ -50,6 +50,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		storeDir    = fs.String("store", "", "content-addressed store directory (required; shared with bptool -cache and bpserve)")
 		format      = fs.String("format", "text", "matrix output format: text, markdown or json")
 		execMode    = fs.String("exec", "", "override the spec's exec mode: auto, local or farm")
+		targetCI    = fs.Float64("target-ci", -1, "override the spec's target relative CI for adaptive estimates (0 disables; changes the manifest identity)")
 		workers     = fs.Int("workers", 0, "service worker pool size (default GOMAXPROCS)")
 		farmWorkers = fs.Int("farm-workers", 0, "in-process farm workers (lets exec=farm run without an external fleet)")
 		maxCells    = fs.Int("max-cells", 0, "stop after computing this many new cells (0 = run to completion); the manifest keeps progress for a later resume")
@@ -107,6 +108,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 	}
+	if *targetCI >= 0 {
+		spec.TargetCI = *targetCI
+		if err := spec.Validate(); err != nil {
+			return err
+		}
+	}
 	// A standalone bpcamp has no HTTP endpoint for external workers to
 	// join, so a farm-forced campaign without in-process workers would
 	// wait forever. Fail up front instead.
@@ -136,7 +143,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	r := &campaign.Runner{
 		Store:    st,
-		Cells:    &campaign.ServiceRunner{M: m, Exec: spec.Exec},
+		Cells:    &campaign.ServiceRunner{M: m, Exec: spec.Exec, TargetCI: spec.TargetCI},
 		Log:      progress,
 		MaxCells: *maxCells,
 	}

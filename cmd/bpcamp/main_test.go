@@ -91,6 +91,7 @@ func TestErrors(t *testing.T) {
 		"spec-unknown-bench": {[]string{"-spec", writeSpec(t, `{"workloads":["spec-gcc"],"threads":[8],"scale":0.05}`), "-store", storeDir}, `"spec-gcc"`},
 		"spec-typo-field":    {[]string{"-spec", writeSpec(t, `{"worloads":["npb-is"],"threads":[8]}`), "-store", storeDir}, "worloads"},
 		"spec-missing-file":  {[]string{"-spec", filepath.Join(storeDir, "nope.json"), "-store", storeDir}, ""},
+		"bad-target-ci":      {[]string{"-spec", good, "-store", storeDir, "-target-ci", "1.5"}, "target_ci"},
 	}
 	for name, tc := range cases {
 		t.Run(name, func(t *testing.T) {
@@ -103,6 +104,38 @@ func TestErrors(t *testing.T) {
 				t.Errorf("error %q does not mention %q", err, tc.want)
 			}
 		})
+	}
+}
+
+// TestTargetCIOverride: -target-ci makes the campaign adaptive — the
+// matrix grows error bars — and lands on a manifest distinct from the
+// plain run's, so the two never share cells.
+func TestTargetCIOverride(t *testing.T) {
+	spec := writeSpec(t, miniSpec)
+	storeDir := t.TempDir()
+
+	var plain, plainErr strings.Builder
+	if err := run([]string{"-spec", spec, "-store", storeDir, "-q"}, &plain, &plainErr); err != nil {
+		t.Fatalf("plain run: %v\nstderr:\n%s", err, plainErr.String())
+	}
+	var adaptive, adaptiveErr strings.Builder
+	if err := run([]string{"-spec", spec, "-store", storeDir, "-q", "-target-ci", "0.2"}, &adaptive, &adaptiveErr); err != nil {
+		t.Fatalf("adaptive run: %v\nstderr:\n%s", err, adaptiveErr.String())
+	}
+	// Both matrices carry error bars (every estimate has a CI now); the
+	// adaptive one may coincide with the plain one when the initial
+	// interval already meets the target, so only the ± rendering and the
+	// manifest identity are asserted here.
+	if !strings.Contains(plain.String(), "±") || !strings.Contains(adaptive.String(), "±") {
+		t.Errorf("matrix has no error bars:\n%s\n%s", plain.String(), adaptive.String())
+	}
+	// Two manifests now exist: the override changed the identity hash.
+	var list strings.Builder
+	if err := run([]string{"-store", storeDir, "-list"}, &list, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(list.String(), "cli-mini-"); n != 2 {
+		t.Errorf("want 2 manifests after the override, -list shows %d:\n%s", n, list.String())
 	}
 }
 

@@ -8,6 +8,7 @@
 //
 //	bptool -workload npb-ft -cores 8
 //	bptool -workload npb-sp -cores 32 -warmup mru -skip-full
+//	bptool -workload npb-ft -cores 8 -target-ci 0.02
 //	bptool -list
 //	bptool record -workload npb-ft -cores 8 -gzip -o ft.bptrace
 //	bptool info ft.bptrace
@@ -31,6 +32,7 @@ import (
 	"time"
 
 	bp "barrierpoint"
+	"barrierpoint/internal/adaptive"
 	"barrierpoint/internal/farm"
 	"barrierpoint/internal/report"
 	"barrierpoint/internal/service"
@@ -262,9 +264,17 @@ func runAnalyze(args []string, stdout, stderr io.Writer) error {
 		skipFull  = fs.Bool("skip-full", false, "skip the ground-truth simulation (no error report)")
 		list      = fs.Bool("list", false, "list available workloads and exit")
 		replayMB  = fs.Int64("replay-cache-mb", 256, "decoded-region replay cache budget for recorded traces, MiB (0 disables)")
+		targetCI  = fs.Float64("target-ci", 0, "target relative confidence interval on the runtime estimate; promotes extra regions adaptively until met (0 disables)")
+		confid    = fs.Float64("confidence", adaptive.DefaultConfidence, "confidence level for the estimate's error bars")
 	)
 	if help, err := parse(fs, args); help || err != nil {
 		return err
+	}
+	if *targetCI < 0 || *targetCI >= 1 {
+		return fmt.Errorf("-target-ci must be in [0, 1), got %v", *targetCI)
+	}
+	if !(*confid > 0 && *confid < 1) {
+		return fmt.Errorf("-confidence must be in (0, 1), got %v", *confid)
 	}
 
 	if *list {
@@ -353,22 +363,38 @@ func runAnalyze(args []string, stdout, stderr io.Writer) error {
 		analysis.SerialSpeedup(), analysis.ParallelSpeedup(), analysis.ResourceReduction())
 
 	start = time.Now()
-	var est bp.Estimate
-	var pointNote string
+	// Every estimate goes through the adaptive controller: with no target it
+	// reproduces the standard one-rep-per-cluster reconstruction bit for bit
+	// and just attaches error bars; with -target-ci it also promotes regions
+	// until the runtime CI meets the target.
+	var runner bp.PointRunner = bp.LocalRunner{}
 	if pointRunner != nil {
-		est, err = analysis.EstimateWith(pointRunner, mc, mode)
-		if err == nil {
-			pointNote = fmt.Sprintf(", %d/%d point results reused from cache",
-				pointRunner.Hits, pointRunner.Hits+pointRunner.Misses)
-		}
-	} else {
-		est, err = analysis.Estimate(mc, mode)
+		runner = pointRunner
 	}
+	res, err := adaptive.Run(analysis, runner, mc, mode, adaptive.Options{TargetRel: *targetCI, Confidence: *confid})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "\nestimate (%s warmup, %v%s): runtime %.3f ms, IPC %.2f, DRAM APKI %.2f\n",
-		mode, time.Since(start).Round(time.Millisecond), pointNote, est.TimeNs/1e6, est.IPC(), est.DRAMAPKI())
+	var pointNote string
+	if pointRunner != nil {
+		pointNote = fmt.Sprintf(", %d/%d point results reused from cache",
+			pointRunner.Hits, pointRunner.Hits+pointRunner.Misses)
+	}
+	est := res.Estimate.Estimate
+	fmt.Fprintf(stdout, "\nestimate (%s warmup, %v%s): runtime %s ms (±%s%% at %g%% confidence), IPC %.2f, DRAM APKI %.2f\n",
+		mode, time.Since(start).Round(time.Millisecond), pointNote,
+		report.FormatInterval(est.TimeNs/1e6, res.Estimate.Margin.TimeNs/1e6, 3),
+		report.FormatMetric(res.Estimate.RelTime()*100, 2), *confid*100,
+		est.IPC(), est.DRAMAPKI())
+	if *targetCI > 0 {
+		met := "met"
+		if !res.Met {
+			met = "not met, selection exhausted"
+		}
+		fmt.Fprintf(stdout, "adaptive: simulated %d/%d regions in %d rounds (initial ±%s%%, target ±%s%% %s)\n",
+			len(res.Simulated), prog.Regions(), len(res.Rounds),
+			report.FormatMetric(res.InitialRel*100, 2), report.FormatMetric(*targetCI*100, 2), met)
+	}
 
 	if *skipFull {
 		return nil
@@ -383,5 +409,10 @@ func runAnalyze(args []string, stdout, stderr io.Writer) error {
 		time.Since(start).Round(time.Millisecond), act.TimeNs/1e6, act.IPC(), act.DRAMAPKI())
 	fmt.Fprintf(stdout, "runtime error %.2f%%, APKI difference %.3f\n",
 		stats.AbsPctErr(est.TimeNs, act.TimeNs), est.DRAMAPKI()-act.DRAMAPKI())
+	covers := "no"
+	if res.Estimate.CoversTime(act.TimeNs) {
+		covers = "yes"
+	}
+	fmt.Fprintf(stdout, "CI covers actual: %s\n", covers)
 	return nil
 }

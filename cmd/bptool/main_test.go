@@ -88,6 +88,29 @@ func TestAnalyzeWorkloadDirect(t *testing.T) {
 	if !strings.Contains(out, "npb-is, 8 threads") || !strings.Contains(out, "estimate (mru warmup") {
 		t.Errorf("analyze output unexpected:\n%s", out)
 	}
+	// Every estimate carries error bars, even without -target-ci.
+	if !strings.Contains(out, "±") || !strings.Contains(out, "95% confidence") {
+		t.Errorf("estimate line has no confidence interval:\n%s", out)
+	}
+	if strings.Contains(out, "adaptive:") {
+		t.Errorf("no -target-ci but adaptive promotion ran:\n%s", out)
+	}
+}
+
+// TestAnalyzeAdaptive runs the acceptance example: a ±2% target on npb-ft
+// promotes extra regions, reports the effort, and the final interval covers
+// the ground-truth runtime.
+func TestAnalyzeAdaptive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs adaptive promotion plus a full ground-truth simulation")
+	}
+	out := exec(t, "-workload", "npb-ft", "-cores", "8", "-scale", "0.25", "-warmup", "mru+prev", "-target-ci", "0.02")
+	if !strings.Contains(out, "adaptive: simulated ") || !strings.Contains(out, "target ±2.00% met") {
+		t.Errorf("adaptive run missing promotion report:\n%s", out)
+	}
+	if !strings.Contains(out, "CI covers actual: yes") {
+		t.Errorf("±2%% interval does not cover the ground truth:\n%s", out)
+	}
 }
 
 // TestAnalyzeWithCache drives the -cache flag twice over one recording:
@@ -149,6 +172,10 @@ func TestErrors(t *testing.T) {
 		"info-missing":        {"info", filepath.Join(dir, "nope.bptrace")},
 		"info-no-arg":         {"info"},
 		"bad-flag":            {"-definitely-not-a-flag"},
+		"huge-target-ci":      {"-workload", "npb-is", "-scale", "0.1", "-target-ci", "1.5"},
+		"negative-target-ci":  {"-workload", "npb-is", "-scale", "0.1", "-target-ci", "-0.1"},
+		"zero-confidence":     {"-workload", "npb-is", "-scale", "0.1", "-confidence", "0"},
+		"huge-confidence":     {"-workload", "npb-is", "-scale", "0.1", "-confidence", "1.2"},
 	}
 	for name, args := range cases {
 		t.Run(name, func(t *testing.T) { execErr(t, args...) })

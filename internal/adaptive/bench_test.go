@@ -1,0 +1,38 @@
+package adaptive
+
+import (
+	"testing"
+
+	bp "barrierpoint"
+)
+
+// BenchmarkIntervalsOnly is the no-target baseline: the standard
+// one-rep-per-cluster simulation plus interval assembly, no promotion.
+func BenchmarkIntervalsOnly(b *testing.B) {
+	a, _ := ftAnalysis(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(a, bp.LocalRunner{}, tableI, bp.MRUPrevWarmup, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdaptiveTargetCI measures the adaptive-round overhead of the
+// acceptance target (±2% on npb-ft) and reports the promotion effort as
+// custom metrics, which cmd/benchjson folds into the benchmark record.
+func BenchmarkAdaptiveTargetCI(b *testing.B) {
+	a, _ := ftAnalysis(b)
+	b.ResetTimer()
+	var rounds, points int
+	for i := 0; i < b.N; i++ {
+		res, err := Run(a, bp.LocalRunner{}, tableI, bp.MRUPrevWarmup, Options{TargetRel: 0.02})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds += len(res.Rounds)
+		points += len(res.Simulated)
+	}
+	b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
+	b.ReportMetric(float64(points)/float64(b.N), "points/op")
+}

@@ -70,6 +70,8 @@ func TestSpecValidate(t *testing.T) {
 		"bad-exec":         func(s *Spec) { s.Exec = "cluster" },
 		"negative-sockets": func(s *Spec) { s.Sockets = []int{-1} },
 		"orphan-sockets":   func(s *Spec) { s.Sockets = []int{4} }, // 32 cores, but only 8-thread traces
+		"negative-ci":      func(s *Spec) { s.TargetCI = -0.1 },
+		"huge-ci":          func(s *Spec) { s.TargetCI = 1.5 },
 	}
 	for name, mutate := range cases {
 		t.Run(name, func(t *testing.T) {
@@ -128,6 +130,12 @@ func TestSpecHashIgnoresNameAndExec(t *testing.T) {
 	c.ApplyDefaults()
 	if a.Hash() == c.Hash() {
 		t.Fatal("scale change kept the identity hash — stale cells would be reused")
+	}
+	d := testSpec("a")
+	d.TargetCI = 0.05
+	d.ApplyDefaults()
+	if a.Hash() == d.Hash() {
+		t.Fatal("target_ci change kept the identity hash — adaptive and plain cells would share a manifest")
 	}
 }
 
@@ -272,6 +280,48 @@ func TestFarmedCampaignMatchesLocal(t *testing.T) {
 	}
 	if local, farmed := renderAll(t, outL), renderAll(t, outF); local != farmed {
 		t.Fatalf("farmed matrix differs from local:\n--- farmed ---\n%s\n--- local ---\n%s", farmed, local)
+	}
+}
+
+// TestAdaptiveCampaignCells: a spec with target_ci produces cells carrying
+// confidence accounting, and the matrix renders the estimate with an error
+// bar. Determinism still holds: two runs over fresh stores render
+// byte-identically.
+func TestAdaptiveCampaignCells(t *testing.T) {
+	spec := testSpec("adaptive")
+	spec.Warmups = []string{"mru"}
+	spec.TargetCI = 0.2
+	spec.ApplyDefaults()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func() (*Outcome, string) {
+		st := newStore(t)
+		out, err := (&Runner{Store: st, Cells: &ServiceRunner{M: newManager(t, st), TargetCI: spec.TargetCI}}).Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, renderAll(t, out)
+	}
+	out, ref := run()
+	for _, co := range out.Cells {
+		res := co.Result
+		if res.CIRel <= 0 || res.CIHalfNs <= 0 {
+			t.Fatalf("cell %s has no confidence interval: %+v", co.Cell.ID(), res)
+		}
+		if res.PointsSimulated <= 0 {
+			t.Fatalf("cell %s reports no simulated points: %+v", co.Cell.ID(), res)
+		}
+		if res.TargetMet && res.CIRel > spec.TargetCI {
+			t.Fatalf("cell %s met the target but rel CI %.4f exceeds %.4f", co.Cell.ID(), res.CIRel, spec.TargetCI)
+		}
+	}
+	if !strings.Contains(ref, "±") {
+		t.Fatal("adaptive matrix renders without error bars")
+	}
+	if _, again := run(); again != ref {
+		t.Fatal("adaptive campaign matrices differ across fresh stores")
 	}
 }
 

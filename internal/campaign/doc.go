@@ -20,6 +20,7 @@
 //	  "signatures": ["combine"],
 //	  "warmups": ["cold", "mru+prev"],
 //	  "scale": 0.25,
+//	  "target_ci": 0.02,
 //	  "exec": "auto"
 //	}
 //
@@ -27,9 +28,13 @@
 // count from the thread count. Signatures use the service vocabulary
 // ("bbv", "reuse_dist", "combine"), warmups likewise ("cold", "mru",
 // "mru+prev") plus "perfect", which only in-memory runners (the
-// experiments harness) accept. Exec selects how each cell's barrierpoint
-// simulations run — "local", "farm" or "auto" — and, by design, never
-// affects cell results, only where the work happens.
+// experiments harness) accept. A positive target_ci makes every estimate
+// adaptive — extra regions are promoted to detailed simulation until the
+// runtime estimate's relative confidence interval reaches the target (see
+// internal/adaptive) — and joins the identity hash, since it changes cell
+// results. Exec selects how each cell's barrierpoint simulations run —
+// "local", "farm" or "auto" — and, by design, never affects cell results,
+// only where the work happens.
 //
 // # Manifest and resume semantics
 //
@@ -40,7 +45,7 @@
 //
 // where <hash> is store.HashJSON of the spec's identity — everything that
 // determines cell results (workloads, threads, sockets, signatures,
-// warmups, scale) and nothing that does not (name, exec). A local
+// warmups, scale, target_ci) and nothing that does not (name, exec). A local
 // campaign and a farmed one therefore share a manifest, and editing any
 // result-affecting spec field lands on a fresh manifest instead of
 // silently reusing stale cells.

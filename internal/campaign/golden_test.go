@@ -48,7 +48,7 @@ func fixtureOutcome() *Outcome {
 	out := &Outcome{Spec: spec}
 	for i, c := range spec.Expand() {
 		f := float64(i + 1)
-		out.Cells = append(out.Cells, CellOutcome{c, CellResult{
+		res := CellResult{
 			TraceKey:        fmt.Sprintf("%064d", i),
 			EstTimeNs:       1.204e6 * f,
 			ActTimeNs:       1.25e6 * f,
@@ -58,7 +58,17 @@ func fixtureOutcome() *Outcome {
 			APKIDelta:       0.05 * f,
 			SerialSpeedup:   10.4 * f,
 			ParallelSpeedup: 41.5 * f,
-		}})
+		}
+		// The first cell stays CI-less (a pre-interval manifest entry);
+		// the rest carry error bars, covering both rendering branches.
+		if i > 0 {
+			res.CIHalfNs = 2.5e4 * f
+			res.CIRel = res.CIHalfNs / res.EstTimeNs
+			res.PointsSimulated = 10 + i
+			res.AdaptiveRounds = i
+			res.TargetMet = true
+		}
+		out.Cells = append(out.Cells, CellOutcome{c, res})
 	}
 	return out
 }

@@ -31,6 +31,17 @@ type CellResult struct {
 	// instruction-count reductions for this cell's selection.
 	SerialSpeedup   float64 `json:"serial_speedup"`
 	ParallelSpeedup float64 `json:"parallel_speedup"`
+
+	// CIHalfNs and CIRel are the runtime estimate's confidence half-width
+	// (absolute nanoseconds and relative to the estimate); PointsSimulated
+	// and AdaptiveRounds account the adaptive sampler's effort, and
+	// TargetMet reports whether the spec's target_ci was reached. All zero
+	// for cells recorded by versions that predate confidence intervals.
+	CIHalfNs        float64 `json:"ci_half_ns,omitempty"`
+	CIRel           float64 `json:"ci_rel,omitempty"`
+	PointsSimulated int     `json:"points_simulated,omitempty"`
+	AdaptiveRounds  int     `json:"adaptive_rounds,omitempty"`
+	TargetMet       bool    `json:"target_met,omitempty"`
 }
 
 // CellOutcome pairs a cell with its result.

@@ -19,20 +19,27 @@ func Matrix(spec Spec, cells []CellOutcome) *report.Table {
 		fmt.Sprintf("Campaign %s: accuracy and speedup over %d cells", spec.Name, len(cells)),
 		"workload", "threads", "sockets", "signature", "warmup",
 		"runtime err (%)", "APKI diff", "serial speedup", "parallel speedup",
-		"est time (ms)", "actual time (ms)")
+		"est time (ms)", "actual time (ms)", "CI (±%)")
 	var errs, apki, serial, parallel []float64
 	for _, co := range cells {
 		c, res := co.Cell, co.Result
+		// Cells recorded before confidence intervals have CIRel == 0 and
+		// render with a plain estimate and an empty CI column.
+		ci := ""
+		if res.CIRel > 0 {
+			ci = report.FormatMetric(res.CIRel*100, 2)
+		}
 		t.AddRow(c.Workload,
 			fmt.Sprintf("%d", c.Threads),
 			fmt.Sprintf("%d", c.EffectiveSockets()),
 			c.Signature, c.Warmup,
-			fmt.Sprintf("%.2f", res.RunErrPct),
-			fmt.Sprintf("%.3f", res.APKIDelta),
-			fmt.Sprintf("%.1f", res.SerialSpeedup),
-			fmt.Sprintf("%.1f", res.ParallelSpeedup),
-			fmt.Sprintf("%.3f", res.EstTimeNs/1e6),
-			fmt.Sprintf("%.3f", res.ActTimeNs/1e6))
+			report.FormatMetric(res.RunErrPct, 2),
+			report.FormatMetric(res.APKIDelta, 3),
+			report.FormatMetric(res.SerialSpeedup, 1),
+			report.FormatMetric(res.ParallelSpeedup, 1),
+			report.FormatInterval(res.EstTimeNs/1e6, res.CIHalfNs/1e6, 3),
+			report.FormatMetric(res.ActTimeNs/1e6, 3),
+			ci)
 		errs = append(errs, res.RunErrPct)
 		apki = append(apki, res.APKIDelta)
 		serial = append(serial, res.SerialSpeedup)
@@ -40,11 +47,11 @@ func Matrix(spec Spec, cells []CellOutcome) *report.Table {
 	}
 	if len(cells) > 0 {
 		t.AddRow("aggregate", "", "", "", "",
-			fmt.Sprintf("%.2f", stats.Mean(errs)),
-			fmt.Sprintf("%.3f", stats.Mean(apki)),
-			fmt.Sprintf("%.1f", stats.HarmonicMean(serial)),
-			fmt.Sprintf("%.1f", stats.HarmonicMean(parallel)),
-			"", "")
+			report.FormatMetric(stats.Mean(errs), 2),
+			report.FormatMetric(stats.Mean(apki), 3),
+			report.FormatMetric(stats.HarmonicMean(serial), 1),
+			report.FormatMetric(stats.HarmonicMean(parallel), 1),
+			"", "", "")
 	}
 	return t
 }

@@ -43,6 +43,10 @@ type ServiceRunner struct {
 	// Exec is forwarded to estimate requests: "", "auto", "local" or
 	// "farm". It changes where work runs, never what it produces.
 	Exec string
+	// TargetCI is forwarded to estimate requests (see Spec.TargetCI);
+	// callers must set it from the spec that hashed the manifest, since a
+	// different target produces different cell results.
+	TargetCI float64
 
 	mu     sync.Mutex
 	traces map[string]string // "<workload>/<threads>" → trace content key
@@ -136,6 +140,7 @@ func (r *ServiceRunner) RunCell(c Cell) (CellResult, error) {
 		Sockets:   c.Sockets,
 		Warmup:    c.Warmup,
 		Exec:      r.Exec,
+		TargetCI:  r.TargetCI,
 	})
 	if err != nil {
 		return CellResult{}, err
@@ -153,7 +158,7 @@ func (r *ServiceRunner) RunCell(c Cell) (CellResult, error) {
 	if err != nil {
 		return CellResult{}, err
 	}
-	return CellResult{
+	res := CellResult{
 		TraceKey:        key,
 		EstTimeNs:       est.TimeNs,
 		ActTimeNs:       act.TimeNs,
@@ -163,7 +168,17 @@ func (r *ServiceRunner) RunCell(c Cell) (CellResult, error) {
 		APKIDelta:       math.Abs(est.DRAMAPKI - act.DRAMAPKI),
 		SerialSpeedup:   serial,
 		ParallelSpeedup: parallel,
-	}, nil
+	}
+	// Artifacts cached by versions without intervals carry no CI block;
+	// the cell then simply renders without error bars.
+	if est.CI != nil {
+		res.CIHalfNs = est.CI.TimeHalfNs
+		res.CIRel = est.CI.TimeRel
+		res.PointsSimulated = est.CI.PointsSimulated
+		res.AdaptiveRounds = est.CI.AdaptiveRounds
+		res.TargetMet = est.CI.TargetMet
+	}
+	return res, nil
 }
 
 // runJob submits one request and waits for its terminal state.

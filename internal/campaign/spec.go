@@ -32,6 +32,14 @@ type Spec struct {
 	Signatures []string `json:"signatures,omitempty"` // default ["combine"]
 	Warmups    []string `json:"warmups,omitempty"`    // default ["mru+prev"]
 	Scale      float64  `json:"scale,omitempty"`      // default 1.0
+	// TargetCI, when positive, makes every estimate adaptive: the service
+	// promotes extra regions to detailed simulation until the runtime
+	// estimate's relative confidence interval reaches the target (see
+	// internal/adaptive). It changes cell results, so it is part of the
+	// identity hash; zero (the default) is the plain one-rep-per-cluster
+	// estimate and hashes identically to specs written before the field
+	// existed.
+	TargetCI float64 `json:"target_ci,omitempty"`
 	// Exec selects where cells' barrierpoint simulations run: "auto"
 	// (default), "local" or "farm". Exec never affects results, so it is
 	// excluded from the spec's identity hash.
@@ -120,6 +128,9 @@ func (s *Spec) Validate() error {
 	if !(s.Scale > 0) { // also catches NaN
 		return fmt.Errorf("campaign: scale must be > 0, got %v", s.Scale)
 	}
+	if s.TargetCI < 0 || s.TargetCI >= 1 || s.TargetCI != s.TargetCI {
+		return fmt.Errorf("campaign: target_ci must be in [0, 1), got %v", s.TargetCI)
+	}
 	for _, sig := range s.Signatures {
 		if _, err := service.ParseSignature(sig); err != nil {
 			return fmt.Errorf("campaign: %w", err)
@@ -151,11 +162,14 @@ type identity struct {
 	Signatures []string `json:"signatures"`
 	Warmups    []string `json:"warmups"`
 	Scale      float64  `json:"scale"`
+	// omitempty keeps zero-target specs on the hash they had before the
+	// field existed, so old manifests still resume.
+	TargetCI float64 `json:"target_ci,omitempty"`
 }
 
 // Hash returns the spec's identity hash (see store.HashJSON).
 func (s Spec) Hash() string {
-	return store.HashJSON(identity{s.Workloads, s.Threads, s.Sockets, s.Signatures, s.Warmups, s.Scale})
+	return store.HashJSON(identity{s.Workloads, s.Threads, s.Sockets, s.Signatures, s.Warmups, s.Scale, s.TargetCI})
 }
 
 // ManifestName is the store-side manifest filename of this spec.

@@ -304,3 +304,53 @@ func TestProjEntryRange(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSelectSpreadAndRepDists(t *testing.T) {
+	svs, weights, _ := blobSVs(60, 3)
+	res, err := Select(svs, weights, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RepDists) != len(svs) {
+		t.Fatalf("RepDists has %d entries for %d regions", len(res.RepDists), len(svs))
+	}
+	for _, p := range res.Points {
+		if res.RepDists[p.Region] != 0 {
+			t.Errorf("representative %d has nonzero distance to itself: %v", p.Region, res.RepDists[p.Region])
+		}
+		if p.Spread < 0 || p.Spread > 2 {
+			t.Errorf("cluster %d spread %v outside the L1 range [0, 2]", p.Cluster, p.Spread)
+		}
+		// Spread is the weighted mean of the members' RepDists.
+		var clusterW, want float64
+		for i, c := range res.Assignment {
+			if c != p.Cluster {
+				continue
+			}
+			clusterW += weights[i]
+		}
+		for i, c := range res.Assignment {
+			if c != p.Cluster || i == p.Region {
+				continue
+			}
+			want += res.RepDists[i] * weights[i] / clusterW
+			if res.RepDists[i] != signature.Distance(svs[i], svs[p.Region]) {
+				t.Errorf("region %d: RepDists %v != signature distance", i, res.RepDists[i])
+			}
+		}
+		if math.Abs(p.Spread-want) > 1e-12 {
+			t.Errorf("cluster %d spread %v, want %v", p.Cluster, p.Spread, want)
+		}
+	}
+	// Members of a blob differ only by tiny perturbations, so spreads must
+	// be small but (with 3 perturbation levels per group) mostly nonzero.
+	var nonzero int
+	for _, p := range res.Points {
+		if p.Spread > 0 {
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		t.Error("every cluster spread is zero over perturbed blobs")
+	}
+}

@@ -12,6 +12,10 @@ func Rebind(sel *Result, weights []float64) *Result {
 		Assignment:    sel.Assignment,
 		RegionWeights: weights,
 		BIC:           sel.BIC,
+		// Signature-space geometry is weight-independent: the rebound
+		// selection keeps the original distances and (via the copied
+		// Points) spreads.
+		RepDists: sel.RepDists,
 	}
 	var totalW float64
 	for _, w := range weights {

@@ -39,6 +39,12 @@ type BarrierPoint struct {
 	Cluster    int     // cluster id
 	Multiplier float64 // Σ member instrs / representative instrs (§III-D)
 	Weight     float64 // fraction of total program instructions represented
+	// Spread is the weight-averaged signature distance (L1, in [0, 2])
+	// from the cluster's members to the representative: the within-cluster
+	// behavioural heterogeneity the adaptive sampler turns into a variance
+	// proxy for clusters with a single simulated member. Selections saved
+	// before spreads existed load as 0.
+	Spread float64 `json:",omitempty"`
 }
 
 // Result is a complete barrierpoint selection for one program.
@@ -48,6 +54,11 @@ type Result struct {
 	Points        []BarrierPoint // one per cluster, sorted by region index
 	RegionWeights []float64      // the instruction-count weights used
 	BIC           []float64      // BIC score per candidate k (index k-1)
+	// RepDists holds each region's signature distance (L1) to its cluster
+	// representative: the adaptive sampler's runner-up ordering — the
+	// unsimulated member closest to the representative is promoted first.
+	// Empty for selections saved before distances existed.
+	RepDists []float64
 }
 
 // PointFor returns the barrierpoint representing region i.
@@ -146,6 +157,7 @@ func Select(svs []signature.SV, weights []float64, p Params) (*Result, error) {
 
 	// Per cluster: representative = member closest to the centroid, ties
 	// broken toward the heavier (longer) region, as weighted SimPoint does.
+	res.RepDists = make([]float64, n)
 	for c := 0; c < chosenK; c++ {
 		rep, repD := -1, math.Inf(1)
 		var clusterW float64
@@ -163,6 +175,21 @@ func Select(svs []signature.SV, weights []float64, p Params) (*Result, error) {
 		if rep == -1 {
 			continue // empty cluster: nothing to represent
 		}
+		// Within-cluster heterogeneity, measured in the original signature
+		// space (not the projection): per-member distance to the
+		// representative, and its instruction-weighted mean as the
+		// cluster's spread.
+		var spread float64
+		for i := range points {
+			if km.Assignment[i] != c || i == rep {
+				continue
+			}
+			d := signature.Distance(svs[i], svs[rep])
+			res.RepDists[i] = d
+			if clusterW > 0 {
+				spread += d * weights[i] / clusterW
+			}
+		}
 		mult := 0.0
 		if weights[rep] > 0 {
 			mult = clusterW / weights[rep]
@@ -176,6 +203,7 @@ func Select(svs []signature.SV, weights []float64, p Params) (*Result, error) {
 			Cluster:    c,
 			Multiplier: mult,
 			Weight:     w,
+			Spread:     spread,
 		})
 	}
 	sort.Slice(res.Points, func(i, j int) bool {

@@ -1,0 +1,59 @@
+package reconstruct
+
+import (
+	"math"
+
+	"barrierpoint/internal/stats"
+)
+
+// IntervalEstimate is an Estimate with a symmetric confidence interval on
+// every metric: Margin holds the per-metric half-widths at the stated
+// two-sided Confidence level. The additive metrics' margins come from
+// per-cluster variance propagation (see internal/adaptive); the derived
+// metrics (IPC, APKI) propagate by the first-order delta method, ignoring
+// the positive numerator/denominator correlation — which widens, never
+// narrows, their intervals.
+type IntervalEstimate struct {
+	Estimate
+	Margin     Estimate // per-metric half-widths at Confidence
+	Confidence float64  // two-sided level, e.g. 0.95
+}
+
+// Time returns the runtime estimate as an interval.
+func (ie IntervalEstimate) Time() stats.Interval {
+	return stats.Interval{Center: ie.TimeNs, Half: ie.Margin.TimeNs}
+}
+
+// RelTime returns the relative half-width of the runtime interval — the
+// quantity the adaptive sampler drives to its target.
+func (ie IntervalEstimate) RelTime() float64 { return ie.Time().Rel() }
+
+// CoversTime reports whether the runtime interval covers actualNs.
+func (ie IntervalEstimate) CoversTime(actualNs float64) bool {
+	return ie.Time().Covers(actualNs)
+}
+
+// relVar returns the squared relative half-width of (value, half).
+func relVar(value, half float64) float64 {
+	if value == 0 {
+		return 0
+	}
+	r := half / value
+	return r * r
+}
+
+// IPCInterval returns the estimated aggregate IPC with a delta-method
+// margin: rel²(IPC) ≈ rel²(Instrs) + rel²(Cycles).
+func (ie IntervalEstimate) IPCInterval() stats.Interval {
+	ipc := ie.IPC()
+	rel := math.Sqrt(relVar(ie.Instrs, ie.Margin.Instrs) + relVar(ie.Cycles, ie.Margin.Cycles))
+	return stats.Interval{Center: ipc, Half: math.Abs(ipc) * rel}
+}
+
+// APKIInterval returns the estimated DRAM APKI with a delta-method margin:
+// rel²(APKI) ≈ rel²(DRAMAccs) + rel²(Instrs).
+func (ie IntervalEstimate) APKIInterval() stats.Interval {
+	apki := ie.DRAMAPKI()
+	rel := math.Sqrt(relVar(ie.DRAMAccs, ie.Margin.DRAMAccs) + relVar(ie.Instrs, ie.Margin.Instrs))
+	return stats.Interval{Center: apki, Half: math.Abs(apki) * rel}
+}

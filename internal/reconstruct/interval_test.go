@@ -1,0 +1,70 @@
+package reconstruct
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIntervalEstimateTime(t *testing.T) {
+	ie := IntervalEstimate{
+		Estimate:   Estimate{TimeNs: 1000},
+		Margin:     Estimate{TimeNs: 20},
+		Confidence: 0.95,
+	}
+	if got := ie.Time(); got.Center != 1000 || got.Half != 20 {
+		t.Errorf("Time() = %+v", got)
+	}
+	if got, want := ie.RelTime(), 0.02; math.Abs(got-want) > 1e-15 {
+		t.Errorf("RelTime() = %v, want %v", got, want)
+	}
+	if !ie.CoversTime(985) || !ie.CoversTime(1020) {
+		t.Error("interval should cover values within ±20")
+	}
+	if ie.CoversTime(1021) || ie.CoversTime(979) {
+		t.Error("interval should not cover values outside ±20")
+	}
+}
+
+func TestIPCIntervalDeltaMethod(t *testing.T) {
+	ie := IntervalEstimate{
+		Estimate: Estimate{Instrs: 2000, Cycles: 1000},
+		Margin:   Estimate{Instrs: 60, Cycles: 40}, // rel 3% and 4%
+	}
+	iv := ie.IPCInterval()
+	if iv.Center != 2.0 {
+		t.Errorf("IPC center = %v, want 2", iv.Center)
+	}
+	wantRel := math.Sqrt(0.03*0.03 + 0.04*0.04) // 5%
+	if got := iv.Half / iv.Center; math.Abs(got-wantRel) > 1e-12 {
+		t.Errorf("IPC rel half-width = %v, want %v", got, wantRel)
+	}
+}
+
+func TestAPKIIntervalDeltaMethod(t *testing.T) {
+	ie := IntervalEstimate{
+		Estimate: Estimate{DRAMAccs: 500, Instrs: 1e6},
+		Margin:   Estimate{DRAMAccs: 25, Instrs: 0}, // rel 5% and 0%
+	}
+	iv := ie.APKIInterval()
+	if want := 0.5; math.Abs(iv.Center-want) > 1e-12 {
+		t.Errorf("APKI center = %v, want %v", iv.Center, want)
+	}
+	if got, want := iv.Half/iv.Center, 0.05; math.Abs(got-want) > 1e-12 {
+		t.Errorf("APKI rel half-width = %v, want %v", got, want)
+	}
+}
+
+func TestIntervalEstimateZeroMargin(t *testing.T) {
+	// A fully-simulated program has zero margin everywhere: intervals are
+	// degenerate points that cover exactly their centers.
+	ie := IntervalEstimate{Estimate: Estimate{TimeNs: 42, Instrs: 10, Cycles: 5}, Confidence: 0.95}
+	if ie.RelTime() != 0 {
+		t.Errorf("RelTime() = %v, want 0", ie.RelTime())
+	}
+	if !ie.CoversTime(42) || ie.CoversTime(42.0001) {
+		t.Error("zero-width interval should cover only its center")
+	}
+	if iv := ie.IPCInterval(); iv.Half != 0 || iv.Center != 2 {
+		t.Errorf("IPCInterval() = %+v", iv)
+	}
+}

@@ -7,8 +7,26 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 )
+
+// FormatMetric renders a metric value with a fixed number of decimals —
+// the single formatting path for every numeric cell in campaign matrices
+// and report tables, so text, markdown and JSON renderings of the same
+// value can never drift apart.
+func FormatMetric(v float64, prec int) string {
+	return strconv.FormatFloat(v, 'f', prec, 64)
+}
+
+// FormatInterval renders "v ± half" at the given precision; a zero or
+// negative half-width degrades to the plain metric (no error bar known).
+func FormatInterval(v, half float64, prec int) string {
+	if half <= 0 {
+		return FormatMetric(v, prec)
+	}
+	return FormatMetric(v, prec) + " ± " + FormatMetric(half, prec)
+}
 
 // Table is a simple column-aligned text table.
 type Table struct {

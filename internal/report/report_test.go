@@ -77,3 +77,34 @@ func TestBarChart(t *testing.T) {
 		t.Errorf("chart output wrong:\n%s", out)
 	}
 }
+
+func TestFormatMetric(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		prec int
+		want string
+	}{
+		{1.23456, 2, "1.23"},
+		{1.235, 2, "1.24"},
+		{-0.5, 3, "-0.500"},
+		{0, 1, "0.0"},
+		{1e6, 0, "1000000"},
+	} {
+		if got := FormatMetric(tc.v, tc.prec); got != tc.want {
+			t.Errorf("FormatMetric(%v, %d) = %q, want %q", tc.v, tc.prec, got, tc.want)
+		}
+	}
+}
+
+func TestFormatInterval(t *testing.T) {
+	if got, want := FormatInterval(12.345, 0.067, 2), "12.35 ± 0.07"; got != want {
+		t.Errorf("FormatInterval = %q, want %q", got, want)
+	}
+	// No known error bar degrades to the plain metric.
+	if got, want := FormatInterval(12.345, 0, 2), "12.35"; got != want {
+		t.Errorf("FormatInterval with zero half = %q, want %q", got, want)
+	}
+	if got, want := FormatInterval(12.345, -1, 2), "12.35"; got != want {
+		t.Errorf("FormatInterval with negative half = %q, want %q", got, want)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	bp "barrierpoint"
+	"barrierpoint/internal/adaptive"
 	"barrierpoint/internal/farm"
 	"barrierpoint/internal/store"
 )
@@ -59,6 +60,13 @@ type Request struct {
 	// otherwise), "local" (in-process pool), or "farm" (force the
 	// distributed queue; such a job waits for workers to join).
 	Exec string `json:"exec,omitempty"`
+	// TargetCI, for estimate jobs, asks for adaptive sampling: additional
+	// regions are promoted to detailed simulation until the runtime
+	// estimate's 95% confidence interval has a relative half-width of at
+	// most this value (e.g. 0.02 for ±2%), or the selection is exhausted.
+	// 0 runs the standard one-point-per-cluster estimate; intervals are
+	// reported either way.
+	TargetCI float64 `json:"ci,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of a job's state, safe to serialize.
@@ -91,6 +99,10 @@ type Stats struct {
 	// FarmRecovered counts tasks the attached farm queue rebuilt from its
 	// write-ahead log at startup (pending + requeued in-flight leases).
 	FarmRecovered int64 `json:"farm_tasks_recovered"`
+	// AdaptiveRounds and AdaptivePromoted count promotion rounds and
+	// promoted regions across all CI-targeted estimate jobs.
+	AdaptiveRounds   int64 `json:"adaptive_rounds"`
+	AdaptivePromoted int64 `json:"adaptive_promoted"`
 }
 
 // Errors returned by Submit.
@@ -146,7 +158,7 @@ type Manager struct {
 	closed   bool
 
 	submitted, deduped, done, failed, cacheHits, coldAnalyses, farmed atomic.Int64
-	farmRecovered                                                     atomic.Int64
+	farmRecovered, adaptiveRounds, adaptivePromoted                   atomic.Int64
 }
 
 // New starts a manager with the given worker count (GOMAXPROCS if <= 0)
@@ -223,8 +235,10 @@ func (m *Manager) Stats() Stats {
 		Failed:        m.failed.Load(),
 		CacheHits:     m.cacheHits.Load(),
 		ColdAnalyses:  m.coldAnalyses.Load(),
-		Farmed:        m.farmed.Load(),
-		FarmRecovered: m.farmRecovered.Load(),
+		Farmed:           m.farmed.Load(),
+		FarmRecovered:    m.farmRecovered.Load(),
+		AdaptiveRounds:   m.adaptiveRounds.Load(),
+		AdaptivePromoted: m.adaptivePromoted.Load(),
 	}
 }
 
@@ -245,6 +259,12 @@ func (m *Manager) validate(req Request) (bp.Config, bp.WarmupMode, string, error
 	mode, err := ParseWarmup(req.Warmup)
 	if err != nil {
 		return bp.Config{}, 0, "", err
+	}
+	if req.TargetCI < 0 || req.TargetCI >= 1 {
+		return bp.Config{}, 0, "", fmt.Errorf("service: target ci %v out of range [0, 1)", req.TargetCI)
+	}
+	if req.TargetCI > 0 && req.Kind != KindEstimate {
+		return bp.Config{}, 0, "", fmt.Errorf("service: target ci applies only to estimate jobs, not %q", req.Kind)
 	}
 	switch req.Exec {
 	case "", ExecAuto, ExecLocal:
@@ -283,8 +303,10 @@ func (m *Manager) validate(req Request) (bp.Config, bp.WarmupMode, string, error
 			// Exec modes produce bit-identical results but very different
 			// latencies (a forced farm job waits for workers), so they do
 			// not coalesce; the estimate artifact still dedups the actual
-			// compute across modes.
-			dedup = fmt.Sprintf("%s|%s|%s|%d|%s|%s", req.Kind, req.Trace, hashJSON(cfg), mc.Sockets, mode, normalizeExec(req.Exec))
+			// compute across modes. The CI target is part of the identity:
+			// tighter targets simulate more regions and land on different
+			// artifacts.
+			dedup = fmt.Sprintf("%s|%s|%s|%d|%s|%s|%g", req.Kind, req.Trace, hashJSON(cfg), mc.Sockets, mode, normalizeExec(req.Exec), req.TargetCI)
 		}
 	default:
 		return bp.Config{}, 0, "", fmt.Errorf("service: unknown job kind %q", req.Kind)
@@ -522,7 +544,7 @@ func (m *Manager) execute(j *job) (json.RawMessage, bool, error) {
 		if err != nil {
 			return nil, false, err
 		}
-		name := EstimateArtifact(j.cfg, mc, j.mode)
+		name := AdaptiveEstimateArtifact(j.cfg, mc, j.mode, j.req.TargetCI)
 		if b, err := m.st.GetArtifact(j.req.Trace, name); err == nil {
 			return json.RawMessage(b), true, nil
 		} else if !errors.Is(err, store.ErrNotFound) {
@@ -545,11 +567,18 @@ func (m *Manager) execute(j *job) (json.RawMessage, bool, error) {
 		if err != nil {
 			return nil, false, err
 		}
-		est, err := a.EstimateWith(m.pointRunner(j), mc, j.mode)
+		// The adaptive controller drives the same runner the plain estimate
+		// would use, so promotions farm out (and cache per point) exactly
+		// like the initial barrierpoints. With no target it just attaches
+		// intervals to the standard one-point-per-cluster estimate.
+		res, err := adaptive.Run(a, m.pointRunner(j), mc, j.mode, adaptive.Options{TargetRel: j.req.TargetCI})
 		if err != nil {
 			return nil, false, err
 		}
-		return m.putResult(j.req.Trace, name, newEstimateResult(est, mc, j.mode.String()))
+		m.adaptiveRounds.Add(int64(len(res.Rounds)))
+		m.adaptivePromoted.Add(int64(len(res.Simulated) - len(a.Selection.Points)))
+		return m.putResult(j.req.Trace, name, newIntervalResult(
+			res.Estimate, mc, j.mode.String(), len(res.Simulated), len(res.Rounds), j.req.TargetCI, res.Met))
 
 	case KindSimulate:
 		f, err := m.st.OpenTrace(j.req.Trace)

@@ -32,6 +32,7 @@ import (
 	"sync"
 
 	bp "barrierpoint"
+	"barrierpoint/internal/reconstruct"
 	"barrierpoint/internal/store"
 )
 
@@ -54,6 +55,18 @@ func SelectionArtifact(cfg bp.Config) string {
 // warmup mode and analysis config.
 func EstimateArtifact(cfg bp.Config, mc bp.MachineConfig, mode bp.WarmupMode) string {
 	return fmt.Sprintf("estimate-%s-%s-%s.json", hashJSON(mc), sanitize(mode.String()), hashJSON(cfg))
+}
+
+// AdaptiveEstimateArtifact names the cached estimate artifact for an
+// adaptive run targeting the given relative CI: a distinct artifact per
+// target, since tighter targets simulate more regions and produce
+// different (better) estimates. A zero target is the plain estimate.
+func AdaptiveEstimateArtifact(cfg bp.Config, mc bp.MachineConfig, mode bp.WarmupMode, targetCI float64) string {
+	if targetCI <= 0 {
+		return EstimateArtifact(cfg, mc, mode)
+	}
+	return fmt.Sprintf("estimate-%s-%s-%s-ci%s.json",
+		hashJSON(mc), sanitize(mode.String()), hashJSON(cfg), sanitize(fmt.Sprintf("%g", targetCI)))
 }
 
 // ActualArtifact names the cached ground-truth (full simulation) artifact
@@ -182,6 +195,29 @@ type EstimateResult struct {
 	Warmup   string  `json:"warmup,omitempty"` // empty for ground truth
 	Cores    int     `json:"cores"`
 	Sockets  int     `json:"sockets"`
+	// CI is the estimate's confidence report; nil for ground-truth results
+	// and for artifacts cached by versions that predate intervals.
+	CI *CIResult `json:"ci,omitempty"`
+}
+
+// CIResult is the confidence block attached to every estimate: symmetric
+// interval half-widths at the stated confidence level, plus the adaptive
+// sampler's effort accounting.
+type CIResult struct {
+	Confidence float64 `json:"confidence"`
+	TimeHalfNs float64 `json:"time_half_ns"`
+	TimeRel    float64 `json:"time_rel"`
+	IPCHalf    float64 `json:"ipc_half"`
+	APKIHalf   float64 `json:"apki_half"`
+	// PointsSimulated counts the regions simulated in detail (selected
+	// barrierpoints plus adaptive promotions).
+	PointsSimulated int `json:"points_simulated"`
+	// AdaptiveRounds counts promotion rounds (0 for a plain estimate).
+	AdaptiveRounds int `json:"adaptive_rounds"`
+	// TargetCI echoes the requested relative CI; TargetMet reports whether
+	// the run reached it (false when the selection was exhausted first).
+	TargetCI  float64 `json:"target_ci,omitempty"`
+	TargetMet bool    `json:"target_met,omitempty"`
 }
 
 // newEstimateResult flattens a bp.Estimate with its derived metrics.
@@ -197,6 +233,24 @@ func newEstimateResult(e bp.Estimate, mc bp.MachineConfig, warmup string) Estima
 		Cores:    mc.Cores(),
 		Sockets:  mc.Sockets,
 	}
+}
+
+// newIntervalResult is newEstimateResult plus the confidence block from an
+// interval estimate and the adaptive run's effort accounting.
+func newIntervalResult(ie reconstruct.IntervalEstimate, mc bp.MachineConfig, warmup string, points, rounds int, targetCI float64, met bool) EstimateResult {
+	res := newEstimateResult(ie.Estimate, mc, warmup)
+	res.CI = &CIResult{
+		Confidence:      ie.Confidence,
+		TimeHalfNs:      ie.Margin.TimeNs,
+		TimeRel:         ie.RelTime(),
+		IPCHalf:         ie.IPCInterval().Half,
+		APKIHalf:        ie.APKIInterval().Half,
+		PointsSimulated: points,
+		AdaptiveRounds:  rounds,
+		TargetCI:        targetCI,
+		TargetMet:       met,
+	}
+	return res
 }
 
 // MachineFor sizes a Table I machine for a trace with the given thread

@@ -464,3 +464,100 @@ func TestArtifactNamesDisambiguate(t *testing.T) {
 		t.Error("selection name ignores clustering params")
 	}
 }
+
+// TestAdaptiveEstimateJob: an estimate with a CI target promotes extra
+// regions, reports the confidence block, lands on its own artifact (plain
+// and adaptive estimates of one trace coexist), and repeats are cache hits.
+func TestAdaptiveEstimateJob(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	prog := workload.New("npb-ft", 8, workload.WithScale(0.1))
+	if err := tracefile.Record(&buf, prog); err != nil {
+		t.Fatal(err)
+	}
+	key, _, err := st.PutTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(st, 2, 0)
+	defer m.Shutdown(context.Background())
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	run := func(req Request) Snapshot {
+		t.Helper()
+		snap, err := m.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err = m.Wait(ctx, snap.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Status != StatusDone {
+			t.Fatalf("job %s failed: %s", snap.ID, snap.Error)
+		}
+		return snap
+	}
+
+	plain := run(Request{Kind: KindEstimate, Trace: key, Warmup: "mru"})
+	var pr EstimateResult
+	if err := json.Unmarshal(plain.Result, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.CI == nil {
+		t.Fatal("plain estimate has no confidence block")
+	}
+	if pr.CI.AdaptiveRounds != 0 || pr.CI.TargetCI != 0 {
+		t.Errorf("plain estimate CI block %+v", pr.CI)
+	}
+	if pr.CI.TimeHalfNs <= 0 || pr.CI.Confidence != 0.95 {
+		t.Errorf("plain estimate CI block %+v", pr.CI)
+	}
+
+	adaptive := run(Request{Kind: KindEstimate, Trace: key, Warmup: "mru", TargetCI: 0.05})
+	var ar EstimateResult
+	if err := json.Unmarshal(adaptive.Result, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.CI == nil {
+		t.Fatal("adaptive estimate has no confidence block")
+	}
+	if !ar.CI.TargetMet || ar.CI.TimeRel > 0.05 {
+		t.Errorf("adaptive run missed its target: %+v", ar.CI)
+	}
+	if ar.CI.PointsSimulated <= pr.CI.PointsSimulated {
+		t.Errorf("adaptive run simulated %d points, plain %d: expected promotions",
+			ar.CI.PointsSimulated, pr.CI.PointsSimulated)
+	}
+	if ar.CI.AdaptiveRounds < 1 {
+		t.Errorf("adaptive run reports %d rounds", ar.CI.AdaptiveRounds)
+	}
+	if s := m.Stats(); s.AdaptiveRounds < 1 || s.AdaptivePromoted < 1 {
+		t.Errorf("manager stats missing adaptive counters: %+v", s)
+	}
+
+	// The adaptive artifact is distinct from the plain one, and repeats of
+	// either are byte-identical cache hits.
+	if bytes.Equal(plain.Result, adaptive.Result) {
+		t.Error("plain and adaptive estimates share a payload")
+	}
+	again := run(Request{Kind: KindEstimate, Trace: key, Warmup: "mru", TargetCI: 0.05})
+	if !again.Cached || !bytes.Equal(again.Result, adaptive.Result) {
+		t.Error("repeat adaptive estimate was not a byte-identical cache hit")
+	}
+
+	// Validation: out-of-range targets and non-estimate kinds are rejected.
+	if _, err := m.Submit(Request{Kind: KindEstimate, Trace: key, TargetCI: -0.1}); err == nil {
+		t.Error("negative target ci accepted")
+	}
+	if _, err := m.Submit(Request{Kind: KindEstimate, Trace: key, TargetCI: 1.5}); err == nil {
+		t.Error("target ci >= 1 accepted")
+	}
+	if _, err := m.Submit(Request{Kind: KindAnalyze, Trace: key, TargetCI: 0.05}); err == nil {
+		t.Error("target ci on an analyze job accepted")
+	}
+}

@@ -22,6 +22,12 @@ type SavedSelection struct {
 	Points       []BarrierPoint `json:"points"`
 	RegionInstrs []uint64       `json:"region_instrs"`
 	Signature    string         `json:"signature"` // options label, e.g. "combine"
+	// RepDists holds each region's signature distance to its cluster
+	// representative (see cluster.Result.RepDists); the adaptive sampler's
+	// runner-up ordering. Absent in selections saved by older versions,
+	// which load with zero distances (promotion order degrades to region
+	// index, confidence intervals stay valid but looser).
+	RepDists []float64 `json:"rep_dists,omitempty"`
 }
 
 // Save serializes the analysis' selection to w as JSON.
@@ -39,6 +45,7 @@ func (a *Analysis) Save(w io.Writer) error {
 		Points:       a.Selection.Points,
 		RegionInstrs: instrs,
 		Signature:    a.Config.Signature.Label(),
+		RepDists:     a.Selection.RepDists,
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -57,6 +64,10 @@ func LoadSelection(r io.Reader) (*SavedSelection, error) {
 	if len(s.Assignment) != s.Regions || len(s.RegionInstrs) != s.Regions {
 		return nil, fmt.Errorf("barrierpoint: selection for %d regions has %d assignments and %d counts",
 			s.Regions, len(s.Assignment), len(s.RegionInstrs))
+	}
+	if len(s.RepDists) != 0 && len(s.RepDists) != s.Regions {
+		return nil, fmt.Errorf("barrierpoint: selection for %d regions has %d representative distances",
+			s.Regions, len(s.RepDists))
 	}
 	for _, p := range s.Points {
 		if p.Region < 0 || p.Region >= s.Regions {
@@ -81,6 +92,7 @@ func (s *SavedSelection) Bind(p Program) (*Analysis, error) {
 		K:          s.K,
 		Assignment: s.Assignment,
 		Points:     s.Points,
+		RepDists:   s.RepDists,
 	}
 	weights := make([]float64, len(s.RegionInstrs))
 	for i, n := range s.RegionInstrs {

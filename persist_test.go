@@ -47,6 +47,21 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if a.SerialSpeedup() != bound.SerialSpeedup() {
 		t.Errorf("bound speedup differs: %v vs %v", a.SerialSpeedup(), bound.SerialSpeedup())
 	}
+	// The adaptive sampler's geometry survives the round trip: per-region
+	// representative distances and per-cluster spreads.
+	if len(s.RepDists) != prog.Regions() {
+		t.Errorf("saved selection has %d rep distances for %d regions", len(s.RepDists), prog.Regions())
+	}
+	for i, d := range a.Selection.RepDists {
+		if bound.Selection.RepDists[i] != d {
+			t.Errorf("region %d: bound rep distance %v != original %v", i, bound.Selection.RepDists[i], d)
+		}
+	}
+	for i, p := range a.Selection.Points {
+		if bound.Selection.Points[i].Spread != p.Spread {
+			t.Errorf("point %d: bound spread %v != original %v", i, bound.Selection.Points[i].Spread, p.Spread)
+		}
+	}
 }
 
 func TestBindValidation(t *testing.T) {
