@@ -143,7 +143,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	r := &campaign.Runner{
 		Store:    st,
-		Cells:    &campaign.ServiceRunner{M: m, Exec: spec.Exec, TargetCI: spec.TargetCI},
+		Cells:    &campaign.ServiceRunner{M: m, Exec: spec.Exec, TargetCI: spec.TargetCI, Log: progress},
 		Log:      progress,
 		MaxCells: *maxCells,
 	}

@@ -21,8 +21,10 @@
 //	                           "signature"} → job snapshot (202)
 //	GET  /v1/jobs              list jobs
 //	GET  /v1/jobs/{id}         job status; result embedded when done
-//	GET  /healthz              liveness + store/queue counters
+//	GET  /healthz              liveness + readiness: store/queue counters,
+//	                           WAL status, replay-cache and fleet state
 //	GET  /debug/vars           expvar-style metrics
+//	GET  /metrics              Prometheus text exposition (bp_-prefixed)
 //
 // The farm tier (see internal/farm) adds the worker-facing endpoints —
 // bpworker processes register, lease point-simulation tasks, heartbeat
@@ -38,6 +40,9 @@
 // Estimate jobs choose their execution with "exec": "local", "farm", or
 // "auto" (the default: farm whenever live workers are registered, local
 // otherwise). Farmed and local estimates are bit-identical.
+//
+// -pprof mounts net/http/pprof under /debug/pprof/ on the same listener;
+// -log-level and -log-json control the structured log on stderr.
 package main
 
 import (
@@ -49,6 +54,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -56,6 +62,7 @@ import (
 	"time"
 
 	"barrierpoint/internal/farm"
+	"barrierpoint/internal/obs"
 	"barrierpoint/internal/service"
 	"barrierpoint/internal/store"
 )
@@ -81,11 +88,17 @@ func run(args []string, stderr io.Writer) error {
 		retries  = fs.Int("farm-retries", 3, "farm task attempts before permanent failure")
 		replayMB = fs.Int64("replay-cache-mb", 256, "decoded-region replay cache budget, MiB (0 disables)")
 		walPath  = fs.String("wal", "", "farm queue write-ahead log path (default <store>/farm.wal; \"off\" disables durability)")
+		pprofOn  = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
+	lf := obs.RegisterLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
 		}
+		return err
+	}
+	logger, err := lf.Logger(stderr)
+	if err != nil {
 		return err
 	}
 
@@ -112,21 +125,27 @@ func run(args []string, stderr io.Writer) error {
 			return fmt.Errorf("opening farm wal: %w", err)
 		}
 		if recov.Records > 0 {
-			fmt.Fprintf(stderr,
-				"bpserve: farm wal %s: replayed %d records (%d bytes torn tail dropped): %d pending, %d in-flight requeued, %d resolved from store\n",
-				wal, recov.Records, recov.Dropped, recov.Pending, recov.Requeued, recov.StoreHits)
+			logger.Info(fmt.Sprintf(
+				"farm wal %s: replayed %d records (%d bytes torn tail dropped): %d pending, %d in-flight requeued, %d resolved from store",
+				wal, recov.Records, recov.Dropped, recov.Pending, recov.Requeued, recov.StoreHits))
 		}
 		mgr.SetFarm(fq)
 	}
+	if q := mgr.Farm(); q != nil {
+		q.SetLogger(logger)
+	}
 	srv := newServer(st, mgr)
 	srv.maxUpload = *maxMB << 20
+	if *pprofOn {
+		srv.enablePprof()
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(stderr, "bpserve: serving on %s (store %s)\n", *addr, *storeDir)
+	logger.Info("serving", "addr", *addr, "store", *storeDir, "pprof", *pprofOn)
 
 	select {
 	case err := <-errc:
@@ -135,7 +154,7 @@ func run(args []string, stderr io.Writer) error {
 	}
 	// Graceful drain: stop accepting connections, then let queued and
 	// running jobs finish.
-	fmt.Fprintln(stderr, "bpserve: shutting down")
+	logger.Info("shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
@@ -179,6 +198,26 @@ func newServer(st *store.Store, mgr *service.Manager) *server {
 		s.mux.Handle("/farm/", farm.NewServer(q, st))
 	}
 
+	// Server-level series join the manager's registry, so one /metrics
+	// scrape covers the whole coordinator; the registry is also bridged
+	// into /debug/vars under a single new "metrics" key, leaving every
+	// pre-existing expvar key shape untouched.
+	reg := mgr.Metrics()
+	reg.CounterFunc("bp_trace_uploads_total", "Traces accepted by POST /v1/traces.", func() float64 {
+		return float64(s.uploads.Value())
+	})
+	reg.GaugeFunc("bp_uptime_seconds", "Seconds since the server started.", func() float64 {
+		return time.Since(s.started).Seconds()
+	})
+	reg.GaugeFunc("bp_traces_stored", "Distinct traces in the content-addressed store.", func() float64 {
+		keys, err := s.st.Traces()
+		if err != nil {
+			return -1
+		}
+		return float64(len(keys))
+	})
+	s.vars.Set("metrics", reg.Expvar())
+
 	s.mux.HandleFunc("POST /v1/traces", s.handleUpload)
 	s.mux.HandleFunc("GET /v1/traces", s.handleListTraces)
 	s.mux.HandleFunc("GET /v1/traces/{key}", s.handleGetTrace)
@@ -188,7 +227,18 @@ func newServer(st *store.Store, mgr *service.Manager) *server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
+	s.mux.Handle("GET /metrics", reg.Handler())
 	return s
+}
+
+// enablePprof mounts net/http/pprof on the server's own mux (the server
+// never uses http.DefaultServeMux, so the profiler is opt-in per process).
+func (s *server) enablePprof() {
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -379,12 +429,43 @@ func (s *server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, snap)
 }
 
+// handleHealth reports liveness plus readiness detail: job-manager
+// counters, replay-cache occupancy, and — when a farm queue is wired —
+// fleet and write-ahead-log state. "ready" is true once the store is
+// readable; orchestration probes can gate worker traffic on it.
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	_, storeErr := s.st.Traces()
+	rcs := s.mgr.ReplayCacheStats()
+	body := map[string]any{
 		"status":         "ok",
+		"ready":          storeErr == nil,
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"stats":          s.mgr.Stats(),
-	})
+		"replay_cache": map[string]any{
+			"bytes":     rcs.Bytes,
+			"max_bytes": rcs.MaxBytes,
+		},
+	}
+	if storeErr != nil {
+		body["store_error"] = storeErr.Error()
+	}
+	if q := s.mgr.Farm(); q != nil {
+		fs := q.Stats()
+		body["farm"] = map[string]any{
+			"workers_registered": len(q.Workers()),
+			"workers_live":       fs.LiveWorkers,
+			"tasks_pending":      fs.Pending,
+			"tasks_leased":       fs.Leased,
+			"wal": map[string]any{
+				"durable":     q.Durable(),
+				"bytes":       fs.WALBytes,
+				"appends":     fs.WALAppends,
+				"errors":      fs.WALErrors,
+				"compactions": fs.WALCompactions,
+			},
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleVars renders the server's private expvar map in the same format as

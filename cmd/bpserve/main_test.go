@@ -352,15 +352,15 @@ func TestFarmEndToEnd(t *testing.T) {
 			}
 			for _, task := range tasks {
 				if err := c.FetchTrace(wst, task.TraceKey); err != nil {
-					c.Fail(task.ID, err.Error())
+					c.Fail(task, err.Error())
 					continue
 				}
 				res, err := farm.ExecuteTask(wst, task)
 				if err != nil {
-					c.Fail(task.ID, err.Error())
+					c.Fail(task, err.Error())
 					continue
 				}
-				c.Complete(task.ID, res)
+				c.Complete(task, res)
 			}
 			if len(tasks) == 0 {
 				time.Sleep(5 * time.Millisecond)
@@ -414,5 +414,157 @@ func TestFarmEndToEnd(t *testing.T) {
 	}
 	if !jsonEqual(t, farmed.Result, local.Result) {
 		t.Fatalf("farmed != local:\nfarmed: %s\nlocal:  %s", farmed.Result, local.Result)
+	}
+}
+
+// TestMetricsAndHealthEndpoints drives a farmed estimate through the full
+// server and then checks the observability surface: /metrics serves valid
+// Prometheus text with monotone histogram buckets, /debug/vars bridges
+// the same registry under the "metrics" key with matching values, and
+// /healthz reports readiness with replay-cache, fleet and WAL state.
+func TestMetricsAndHealthEndpoints(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := service.New(st, 2, 0)
+	q := farm.NewQueue(st, farm.Config{LeaseTTL: 5 * time.Second})
+	mgr.SetFarm(q)
+	ts := httptest.NewServer(newServer(st, mgr))
+	defer func() {
+		ts.Close()
+		mgr.Shutdown(context.Background())
+	}()
+	base := ts.URL
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go farm.RunLocalWorker(ctx, q, st, "metrics-test-worker")
+
+	var buf bytes.Buffer
+	if err := tracefile.Record(&buf, workload.New("npb-is", 8, workload.WithScale(0.05))); err != nil {
+		t.Fatal(err)
+	}
+	var meta struct {
+		Key string `json:"key"`
+	}
+	doJSON(t, "POST", base+"/v1/traces", buf.Bytes(), http.StatusCreated, &meta)
+	var job service.Snapshot
+	doJSON(t, "POST", base+"/v1/jobs",
+		[]byte(fmt.Sprintf(`{"kind":"estimate","trace":%q,"warmup":"mru","exec":"farm"}`, meta.Key)),
+		http.StatusAccepted, &job)
+	done := pollJob(t, base, job.ID)
+	if done.Status != service.StatusDone {
+		t.Fatalf("estimate failed: %s", done.Error)
+	}
+	if done.TraceID == "" || done.Span == nil {
+		t.Fatalf("job snapshot lacks telemetry: trace_id=%q span=%v", done.TraceID, done.Span)
+	}
+
+	// /metrics: valid exposition, expected series nonzero, buckets
+	// cumulative (monotone non-decreasing, ending at the count).
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	samples := make(map[string]float64)
+	for _, line := range strings.Split(string(text), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		var f float64
+		if _, err := fmt.Sscanf(val, "%g", &f); err != nil {
+			t.Fatalf("non-numeric sample %q: %v", line, err)
+		}
+		samples[name] = f
+	}
+	for _, name := range []string{
+		"bp_jobs_submitted_total", "bp_jobs_done_total", "bp_trace_uploads_total",
+		"bp_farm_tasks_enqueued_total", "bp_farm_tasks_completed_total",
+	} {
+		if samples[name] < 1 {
+			t.Errorf("%s = %v, want >= 1", name, samples[name])
+		}
+	}
+	prev := -1.0
+	var bucketCount int
+	for _, le := range []string{"0.1", "1", "10", "+Inf"} {
+		name := fmt.Sprintf("bp_farm_task_seconds_bucket{le=%q}", le)
+		v, ok := samples[name]
+		if !ok {
+			continue
+		}
+		bucketCount++
+		if v < prev {
+			t.Errorf("bucket %s = %v below previous %v (not cumulative)", name, v, prev)
+		}
+		prev = v
+	}
+	if bucketCount == 0 {
+		t.Error("no bp_farm_task_seconds buckets in exposition")
+	}
+	if samples[`bp_farm_task_seconds_bucket{le="+Inf"}`] != samples["bp_farm_task_seconds_count"] {
+		t.Errorf("+Inf bucket %v != count %v",
+			samples[`bp_farm_task_seconds_bucket{le="+Inf"}`], samples["bp_farm_task_seconds_count"])
+	}
+
+	// /debug/vars: pre-existing keys intact, plus the registry bridge
+	// agreeing with the exposition on a shared counter.
+	var vars struct {
+		Jobs    json.RawMessage            `json:"jobs"`
+		Farm    json.RawMessage            `json:"farm"`
+		Metrics map[string]json.RawMessage `json:"metrics"`
+	}
+	doJSON(t, "GET", base+"/debug/vars", nil, http.StatusOK, &vars)
+	if vars.Jobs == nil || vars.Farm == nil {
+		t.Fatal("expvar lost a pre-existing key")
+	}
+	var bridged float64
+	if err := json.Unmarshal(vars.Metrics["bp_jobs_done_total"], &bridged); err != nil {
+		t.Fatalf("expvar bridge bp_jobs_done_total: %v", err)
+	}
+	if bridged != samples["bp_jobs_done_total"] {
+		t.Errorf("expvar bridge bp_jobs_done_total = %v, exposition says %v",
+			bridged, samples["bp_jobs_done_total"])
+	}
+
+	// /healthz: readiness plus replay-cache, fleet and WAL detail.
+	var health struct {
+		Status      string `json:"status"`
+		Ready       bool   `json:"ready"`
+		ReplayCache struct {
+			MaxBytes int64 `json:"max_bytes"`
+		} `json:"replay_cache"`
+		Farm struct {
+			WorkersRegistered int `json:"workers_registered"`
+			WorkersLive       int `json:"workers_live"`
+			WAL               struct {
+				Durable bool `json:"durable"`
+			} `json:"wal"`
+		} `json:"farm"`
+	}
+	doJSON(t, "GET", base+"/healthz", nil, http.StatusOK, &health)
+	if health.Status != "ok" || !health.Ready {
+		t.Fatalf("health: %+v", health)
+	}
+	if health.ReplayCache.MaxBytes <= 0 {
+		t.Errorf("health replay_cache.max_bytes = %d", health.ReplayCache.MaxBytes)
+	}
+	if health.Farm.WorkersRegistered != 1 || health.Farm.WorkersLive != 1 {
+		t.Errorf("health farm fleet: %+v", health.Farm)
+	}
+	if health.Farm.WAL.Durable {
+		t.Error("in-memory queue reported a durable WAL")
 	}
 }

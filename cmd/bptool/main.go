@@ -15,6 +15,11 @@
 //	bptool info -verify ft.bptrace
 //	bptool -trace ft.bptrace -skip-full
 //	bptool -trace ft.bptrace -cache /var/lib/bpstore -skip-full
+//	bptool trace -server http://bpserve:8080 <job-id>
+//
+// The trace subcommand fetches a job from a bpserve server and prints its
+// telemetry span: the trace ID (shared with any farm tasks the job ran)
+// and a per-stage timing breakdown.
 //
 // With -cache, analysis artifacts live in a content-addressed store shared
 // with the bpserve service: the first analyze of a trace profiles and
@@ -24,11 +29,15 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	"net/url"
 	"os"
+	"strings"
 	"time"
 
 	bp "barrierpoint"
@@ -57,6 +66,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return runRecord(args[1:], stdout, stderr)
 		case "info":
 			return runInfo(args[1:], stdout, stderr)
+		case "trace":
+			return runTrace(args[1:], stdout, stderr)
 		}
 	}
 	return runAnalyze(args, stdout, stderr)
@@ -127,6 +138,89 @@ func runRecord(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "recorded %s (%d threads, %d regions) to %s: %.1f MB in %v\n",
 		prog.Name(), prog.Threads(), prog.Regions(), path,
 		float64(st.Size())/(1<<20), time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runTrace fetches a job snapshot from a bpserve server and prints its
+// telemetry span: trace ID, wall clock, and the per-stage breakdown. The
+// sequential stages partition the job's wall clock (the remainder prints
+// as "(other)"); concurrent stages, like replay-cache decode work, overlap
+// them and are listed separately.
+func runTrace(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bptool trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	server := fs.String("server", "http://127.0.0.1:8080", "bpserve base URL")
+	if help, err := parse(fs, args); help || err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: bptool trace [-server URL] <job-id>")
+	}
+	id := fs.Arg(0)
+
+	resp, err := http.Get(strings.TrimRight(*server, "/") + "/v1/jobs/" + url.PathEscape(id))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("fetching job %s: %s", id, resp.Status)
+	}
+	var snap service.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return fmt.Errorf("decoding job snapshot: %w", err)
+	}
+
+	fmt.Fprintf(stdout, "job:      %s (%s %.12s)\n", snap.ID, snap.Request.Kind, snap.Request.Trace)
+	fmt.Fprintf(stdout, "status:   %s\n", snap.Status)
+	if snap.Error != "" {
+		fmt.Fprintf(stdout, "error:    %s\n", snap.Error)
+	}
+	if snap.TraceID != "" {
+		fmt.Fprintf(stdout, "trace ID: %s\n", snap.TraceID)
+	}
+	if snap.Span == nil {
+		fmt.Fprintln(stdout, "no span recorded (job not started yet)")
+		return nil
+	}
+	sp := snap.Span
+	wall := time.Duration(sp.DurationNs)
+	if sp.End.IsZero() {
+		fmt.Fprintf(stdout, "running:  %v so far\n", time.Since(sp.Start).Round(time.Millisecond))
+	} else {
+		fmt.Fprintf(stdout, "wall:     %v\n", wall.Round(time.Microsecond))
+	}
+	fmt.Fprintf(stdout, "\n%-18s %12s %7s %6s\n", "stage", "time", "share", "count")
+	var seqSum int64
+	for _, st := range sp.Stages {
+		if st.Concurrent {
+			continue
+		}
+		seqSum += st.DurationNs
+		share := ""
+		if wall > 0 {
+			share = fmt.Sprintf("%5.1f%%", 100*float64(st.DurationNs)/float64(sp.DurationNs))
+		}
+		fmt.Fprintf(stdout, "%-18s %12v %7s %6d\n",
+			st.Name, time.Duration(st.DurationNs).Round(time.Microsecond), share, st.Count)
+	}
+	if rest := sp.DurationNs - seqSum; rest > 0 && wall > 0 {
+		fmt.Fprintf(stdout, "%-18s %12v %6.1f%%\n",
+			"(other)", time.Duration(rest).Round(time.Microsecond), 100*float64(rest)/float64(sp.DurationNs))
+	}
+	for _, st := range sp.Stages {
+		if !st.Concurrent {
+			continue
+		}
+		fmt.Fprintf(stdout, "%-18s %12v %7s %6d\n",
+			st.Name+" ‖", time.Duration(st.DurationNs).Round(time.Microsecond), "", st.Count)
+	}
 	return nil
 }
 

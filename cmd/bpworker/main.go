@@ -10,20 +10,32 @@
 //
 //	bpworker -server http://bpserve:8080 -store /var/cache/bpworker
 //	bpworker -server http://bpserve:8080 -concurrency 8 -name rack3-07
+//	bpworker -server http://bpserve:8080 -metrics-addr :9101 -pprof
 //
 // A worker batches up to -concurrency tasks per lease, simulates them in
 // parallel, and heartbeats all held leases at a third of the server's
 // lease TTL. On SIGINT/SIGTERM it stops leasing, finishes what it holds,
 // and exits — nothing is abandoned mid-lease unless the process is
 // killed, and even then the server requeues after the TTL.
+//
+// With -metrics-addr the worker serves GET /metrics (Prometheus text
+// format, bpworker_-prefixed series) and GET /debug/spans (recent
+// per-task spans as JSON, each carrying the submitting job's trace ID);
+// -pprof additionally mounts net/http/pprof under /debug/pprof/ on the
+// same listener.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -33,6 +45,7 @@ import (
 
 	bp "barrierpoint"
 	"barrierpoint/internal/farm"
+	"barrierpoint/internal/obs"
 	"barrierpoint/internal/store"
 )
 
@@ -74,11 +87,18 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		maxTasks    = fs.Int("max-tasks", 0, "exit after attempting this many tasks (0 = run forever)")
 		idleExit    = fs.Duration("idle-exit", 0, "exit after the queue stays empty this long (0 = never)")
 		replayMB    = fs.Int64("replay-cache-mb", 256, "decoded-region replay cache budget, MiB (0 disables)")
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics and /debug/spans on this address (empty disables)")
+		pprofOn     = fs.Bool("pprof", false, "mount net/http/pprof on the -metrics-addr listener")
 	)
+	lf := obs.RegisterLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return nil
 		}
+		return err
+	}
+	logger, err := lf.Logger(stderr)
+	if err != nil {
 		return err
 	}
 	if *name == "" {
@@ -97,6 +117,24 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		return err
 	}
 	c := &farm.Client{Base: *server}
+
+	var rc *bp.ReplayCache
+	if *replayMB > 0 {
+		rc = bp.NewReplayCache(*replayMB << 20)
+	}
+	w := newWorker(c, st, rc, logger)
+
+	if *metricsAddr != "" {
+		// Fail fast on a bad or taken address rather than silently running
+		// without telemetry.
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer ln.Close()
+		go http.Serve(ln, w.metricsMux(*pprofOn)) //nolint:errcheck // closed on return
+		logger.Info("metrics listening", "addr", ln.Addr().String(), "pprof", *pprofOn)
+	}
 
 	// The server may still be starting (CI launches both at once), or may
 	// be mid-restart when we need to re-register: retry registration
@@ -120,14 +158,9 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	if err := register(); err != nil {
 		return err
 	}
-	fmt.Fprintf(stderr, "bpworker: registered as %s (%s) with %s, concurrency %d\n",
-		c.Worker, *name, *server, *concurrency)
+	logger.Info("registered as "+c.Worker,
+		"worker", c.Worker, "name", *name, "server", *server, "concurrency", *concurrency)
 
-	var rc *bp.ReplayCache
-	if *replayMB > 0 {
-		rc = bp.NewReplayCache(*replayMB << 20)
-	}
-	w := &worker{client: c, st: st, rc: rc, stderr: stderr}
 	w.startHeartbeats()
 	defer w.stopHeartbeats()
 
@@ -147,17 +180,17 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 				// serving instead of exiting mid-fleet. Results of tasks
 				// still simulating upload fine — completion is accepted
 				// idempotently from any worker id.
-				fmt.Fprintln(stderr, "bpworker: coordinator restarted, re-registering")
+				logger.Warn("coordinator restarted, re-registering", "server", *server)
 				if rerr := register(); rerr != nil {
 					return rerr
 				}
-				fmt.Fprintf(stderr, "bpworker: re-registered as %s\n", c.Worker)
+				logger.Info("re-registered as "+c.Worker, "worker", c.Worker)
 				continue
 			}
 			// Transient server trouble (including the restart window while
 			// the new coordinator comes up): back off and retry rather
 			// than dying mid-fleet.
-			fmt.Fprintf(stderr, "bpworker: lease: %v\n", err)
+			logger.Warn("lease failed", "err", err)
 			select {
 			case <-ctx.Done():
 			case <-time.After(*poll):
@@ -168,7 +201,7 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 			if idleSince.IsZero() {
 				idleSince = time.Now()
 			} else if *idleExit > 0 && time.Since(idleSince) >= *idleExit {
-				fmt.Fprintf(stderr, "bpworker: idle for %v, exiting\n", *idleExit)
+				logger.Info(fmt.Sprintf("idle for %v, exiting", *idleExit))
 				return nil
 			}
 			select {
@@ -181,29 +214,79 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		attempted += len(tasks)
 		w.process(tasks)
 		if *maxTasks > 0 && attempted >= *maxTasks {
-			fmt.Fprintf(stderr, "bpworker: attempted %d tasks, exiting\n", attempted)
+			logger.Info(fmt.Sprintf("attempted %d tasks, exiting", attempted))
 			return nil
 		}
 	}
 	// Signal received after all held tasks finished (process waits for
 	// its batch): a clean exit, nothing left leased.
-	fmt.Fprintln(stderr, "bpworker: shutting down")
+	logger.Info("shutting down")
 	return nil
 }
 
 // worker holds the shared state of one bpworker process: the protocol
-// client, the local trace store, and the set of currently-held task ids
-// the heartbeat loop renews.
+// client, the local trace store, the set of currently-held task ids the
+// heartbeat loop renews, and the process telemetry (bpworker_-prefixed
+// metrics registry plus a bounded ring of per-task spans).
 type worker struct {
 	client *farm.Client
 	st     *store.Store
 	rc     *bp.ReplayCache // decoded-region cache shared across tasks
-	stderr io.Writer
+	logger *slog.Logger
+
+	reg       *obs.Registry
+	spans     *obs.SpanRecorder
+	completed *obs.Counter
+	failed    *obs.Counter
+	taskDur   *obs.Histogram
+	fetchDur  *obs.Histogram
 
 	mu       sync.Mutex
 	held     map[string]bool
 	hbCancel context.CancelFunc
 	hbDone   chan struct{}
+}
+
+func newWorker(c *farm.Client, st *store.Store, rc *bp.ReplayCache, logger *slog.Logger) *worker {
+	w := &worker{client: c, st: st, rc: rc, logger: logger}
+	r := obs.NewRegistry()
+	w.reg = r
+	w.spans = obs.NewSpanRecorder(0)
+	w.completed = r.Counter("bpworker_tasks_completed_total", "Tasks simulated and uploaded successfully.")
+	w.failed = r.Counter("bpworker_tasks_failed_total", "Tasks whose fetch or simulation failed (failure reported to the server).")
+	w.taskDur = r.Histogram("bpworker_task_seconds", "End-to-end task latency: trace fetch, simulation, upload.", obs.DefLatencyBuckets)
+	w.fetchDur = r.Histogram("bpworker_trace_fetch_seconds", "Trace fetch latency (cache-hit fetches are near-zero).", obs.DefLatencyBuckets)
+	r.GaugeFunc("bpworker_replay_cache_bytes", "Decoded-region replay cache resident bytes.", func() float64 {
+		return float64(rc.Stats().Bytes)
+	})
+	r.GaugeFunc("bpworker_replay_cache_entries", "Decoded-region replay cache resident regions.", func() float64 {
+		return float64(rc.Stats().Entries)
+	})
+	r.GaugeFunc("bpworker_held_leases", "Task leases currently held (renewed by the heartbeat loop).", func() float64 {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		return float64(len(w.held))
+	})
+	return w
+}
+
+// metricsMux is the worker's observability surface: Prometheus metrics,
+// recent task spans, and (optionally) pprof.
+func (w *worker) metricsMux(withPprof bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", w.reg.Handler())
+	mux.HandleFunc("/debug/spans", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(rw).Encode(w.spans.Spans()) //nolint:errcheck // best-effort debug endpoint
+	})
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
 }
 
 func (w *worker) hold(ids []string) {
@@ -261,7 +344,7 @@ func (w *worker) startHeartbeats() {
 				}
 				dropped, err := w.client.Heartbeat(ids)
 				if err != nil {
-					fmt.Fprintf(w.stderr, "bpworker: heartbeat: %v\n", err)
+					w.logger.Warn("heartbeat failed", "err", err)
 					continue
 				}
 				for _, id := range dropped {
@@ -298,9 +381,11 @@ func (w *worker) process(tasks []farm.Task) {
 	for _, t := range tasks {
 		if !prefetched[t.TraceKey] {
 			prefetched[t.TraceKey] = true
+			t0 := time.Now()
 			if err := w.client.FetchTrace(w.st, t.TraceKey); err != nil {
-				fmt.Fprintf(w.stderr, "bpworker: prefetching trace %.12s: %v\n", t.TraceKey, err)
+				w.logger.Warn("trace prefetch failed", "trace", t.TraceKey, "err", err)
 			}
+			w.fetchDur.ObserveDuration(time.Since(t0))
 		}
 	}
 	var wg sync.WaitGroup
@@ -310,7 +395,9 @@ func (w *worker) process(tasks []farm.Task) {
 			defer wg.Done()
 			defer w.release(t.ID)
 			if err := w.runTask(t); err != nil {
-				fmt.Fprintf(w.stderr, "bpworker: task %s: %v\n", t.ID, err)
+				w.logger.Warn("task failed",
+					"task", t.ID, "trace_id", t.TraceID, "trace", t.TraceKey,
+					"region", t.Region, "attempt", t.Attempt, "err", err)
 			}
 		}(t)
 	}
@@ -324,31 +411,55 @@ func (w *worker) process(tasks []farm.Task) {
 // failure: the compute succeeded, so the worker retries the idempotent
 // upload a few times and otherwise lets the lease expire and the task be
 // redone, rather than burning attempts on server-side trouble.
+//
+// Each task is recorded as a "farm-task" span carrying the submitting
+// job's trace ID (if the coordinator supplied one) with fetch, simulate
+// and upload stages — the worker-side half of the job's end-to-end trace.
 func (w *worker) runTask(t farm.Task) error {
 	start := time.Now()
+	span := obs.NewSpan(t.TraceID, "farm-task")
+	span.SetAttr("task", t.ID)
+	span.SetAttr("worker", w.client.Worker)
+	defer func() {
+		span.Finish()
+		w.spans.Record(span.Data())
+	}()
 	res, err := func() (bp.RegionResult, error) {
-		if err := w.client.FetchTrace(w.st, t.TraceKey); err != nil {
+		stop := span.StartStage("fetch")
+		err := w.client.FetchTrace(w.st, t.TraceKey)
+		stop()
+		if err != nil {
 			return bp.RegionResult{}, err
 		}
+		stop = span.StartStage("simulate")
+		defer stop()
 		return farm.ExecuteTaskCached(w.st, t, w.rc)
 	}()
 	if err != nil {
-		if ferr := w.client.Fail(t.ID, err.Error()); ferr != nil {
-			fmt.Fprintf(w.stderr, "bpworker: reporting failure of %s: %v\n", t.ID, ferr)
+		span.SetAttr("error", err.Error())
+		w.failed.Inc()
+		if ferr := w.client.Fail(t, err.Error()); ferr != nil {
+			w.logger.Warn("reporting failure failed", "task", t.ID, "err", ferr)
 		}
 		return err
 	}
 	var uploadErr error
+	stop := span.StartStage("upload")
 	for attempt := 0; attempt < 3; attempt++ {
-		if uploadErr = w.client.Complete(t.ID, res); uploadErr == nil {
+		if uploadErr = w.client.Complete(t, res); uploadErr == nil {
 			break
 		}
 		time.Sleep(time.Duration(attempt+1) * 100 * time.Millisecond)
 	}
+	stop()
 	if uploadErr != nil {
+		span.SetAttr("error", uploadErr.Error())
 		return fmt.Errorf("uploading result: %w", uploadErr)
 	}
-	fmt.Fprintf(w.stderr, "bpworker: %s done (trace %.12s region %d, attempt %d, %v)\n",
-		t.ID, t.TraceKey, t.Region, t.Attempt, time.Since(start).Round(time.Millisecond))
+	w.completed.Inc()
+	w.taskDur.ObserveDuration(time.Since(start))
+	w.logger.Info("task done",
+		"task", t.ID, "trace_id", t.TraceID, "trace", t.TraceKey, "region", t.Region,
+		"attempt", t.Attempt, "dur", time.Since(start).Round(time.Millisecond).String())
 	return nil
 }

@@ -3,10 +3,13 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -241,5 +244,143 @@ func TestWorkerReportsFailure(t *testing.T) {
 	}
 	if _, err := tk.Result(); err == nil || !strings.Contains(err.Error(), "out of range") {
 		t.Fatalf("want out-of-range failure log, got %v", err)
+	}
+}
+
+// syncBuf is a bytes.Buffer safe to read while the worker goroutine is
+// still writing to it.
+type syncBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestWorkerMetricsAndSpans runs the worker with its observability
+// listener enabled: tasks enqueued with a trace ID must surface in the
+// worker's /debug/spans under that ID (the HTTP protocol carried it on
+// the task), and /metrics must expose bpworker_ series reflecting the
+// completed work. The endpoints are scraped while the worker is alive —
+// the listener closes when run returns.
+func TestWorkerMetricsAndSpans(t *testing.T) {
+	q, srv, _, key := newFarm(t)
+
+	const traceID = "feedc0defeedc0de"
+	for _, region := range []int{1, 2} {
+		if _, err := q.Enqueue(farm.Spec{TraceKey: key, Region: region, Sockets: 1, Warmup: "mru", TraceID: traceID}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var stderr syncBuf
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-server", srv.URL,
+			"-store", filepath.Join(t.TempDir(), "wstore"),
+			"-name", "obs-test-worker",
+			"-poll", "10ms",
+			"-metrics-addr", "127.0.0.1:0",
+		}, &stderr)
+	}()
+
+	// The worker logs the listener's resolved address; fish it out.
+	var addr string
+	deadline := time.Now().Add(30 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics listener never logged; stderr:\n%s", stderr.String())
+		}
+		for _, field := range strings.Fields(stderr.String()) {
+			if v, ok := strings.CutPrefix(field, "addr="); ok {
+				addr = v
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Poll /debug/spans until both farm-task spans carry the enqueuer's
+	// trace ID end to end.
+	var spans []struct {
+		TraceID string `json:"trace_id"`
+		Name    string `json:"name"`
+		Stages  []struct {
+			Name string `json:"name"`
+		} `json:"stages"`
+	}
+	deadline = time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/debug/spans")
+		if err != nil {
+			t.Fatal(err)
+		}
+		spans = spans[:0]
+		err = json.NewDecoder(resp.Body).Decode(&spans)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(spans) >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker recorded %d spans, want 2; stderr:\n%s", len(spans), stderr.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for _, sp := range spans {
+		if sp.TraceID != traceID {
+			t.Fatalf("span trace ID %q, want %q", sp.TraceID, traceID)
+		}
+		if sp.Name != "farm-task" {
+			t.Fatalf("span name %q", sp.Name)
+		}
+		stages := make(map[string]bool)
+		for _, st := range sp.Stages {
+			stages[st.Name] = true
+		}
+		for _, want := range []string{"fetch", "simulate", "upload"} {
+			if !stages[want] {
+				t.Fatalf("span missing stage %q: %+v", want, sp)
+			}
+		}
+	}
+
+	// /metrics reflects the two completed tasks.
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"bpworker_tasks_completed_total 2",
+		"bpworker_tasks_failed_total 0",
+		"bpworker_task_seconds_count 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, stderr.String())
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	bp "barrierpoint"
 	"barrierpoint/internal/reconstruct"
@@ -46,6 +47,12 @@ type Options struct {
 	// RelFloor is the irreducible relative margin term
 	// (default DefaultRelFloor; negative disables it).
 	RelFloor float64
+	// Observer, when non-nil, receives stage timings as the run proceeds:
+	// "simulate-points" for the initial barrierpoint simulation,
+	// "reconstruct" for each interval evaluation/assembly pass, and
+	// "adaptive-round" for each promotion batch's simulation. Telemetry
+	// only — it never influences the promotion sequence or the estimate.
+	Observer func(stage string, d time.Duration)
 }
 
 func (o Options) withDefaults() Options {
@@ -383,22 +390,31 @@ type Result struct {
 // byte-identical across runs and across runners.
 func Run(a *bp.Analysis, runner bp.PointRunner, mc bp.MachineConfig, mode bp.WarmupMode, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
+	observe := func(stage string, t0 time.Time) {
+		if opts.Observer != nil {
+			opts.Observer(stage, time.Since(t0))
+		}
+	}
 	m, err := newModel(a.Selection)
 	if err != nil {
 		return nil, err
 	}
+	t0 := time.Now()
 	results, err := a.SimulatePointsWith(runner, mc, mode)
+	observe("simulate-points", t0)
 	if err != nil {
 		return nil, err
 	}
 
 	res := &Result{Results: results}
 	for {
+		t0 := time.Now()
 		evals, err := m.evaluate(results, opts)
 		if err != nil {
 			return nil, err
 		}
 		ie, err := assemble(evals, opts)
+		observe("reconstruct", t0)
 		if err != nil {
 			return nil, err
 		}
@@ -420,7 +436,9 @@ func Run(a *bp.Analysis, runner bp.PointRunner, mc bp.MachineConfig, mode bp.War
 		if len(batch) == 0 {
 			break // exhausted: every cluster fully simulated
 		}
+		t1 := time.Now()
 		promoted, err := runner.RunPoints(a.Program, batch, mc, mode)
+		observe("adaptive-round", t1)
 		if err != nil {
 			return nil, fmt.Errorf("adaptive: promoting regions %v: %w", batch, err)
 		}

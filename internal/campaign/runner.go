@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"sync"
+	"time"
 
 	bp "barrierpoint"
 	"barrierpoint/internal/service"
@@ -47,6 +48,12 @@ type ServiceRunner struct {
 	// callers must set it from the spec that hashed the manifest, since a
 	// different target produces different cell results.
 	TargetCI float64
+	// Log, when non-nil, receives one line per finished service job with
+	// the job's ID, telemetry trace ID and wall clock — the handle for
+	// correlating a campaign cell with coordinator spans (/v1/jobs/{id},
+	// bptool trace) and worker-side farm-task spans. Telemetry only: cell
+	// results and the manifest never carry trace IDs.
+	Log io.Writer
 
 	mu     sync.Mutex
 	traces map[string]string // "<workload>/<threads>" → trace content key
@@ -190,6 +197,11 @@ func (r *ServiceRunner) runJob(req service.Request) (service.EstimateResult, err
 	snap, err = r.M.Wait(context.Background(), snap.ID)
 	if err != nil {
 		return service.EstimateResult{}, err
+	}
+	if r.Log != nil {
+		dur := snap.Finished.Sub(snap.Started).Round(time.Millisecond)
+		fmt.Fprintf(r.Log, "job %s %s trace_id=%s status=%s dur=%v\n",
+			snap.ID, req.Kind, snap.TraceID, snap.Status, dur)
 	}
 	if snap.Status != service.StatusDone {
 		return service.EstimateResult{}, fmt.Errorf("campaign: %s job %s failed: %s", req.Kind, snap.ID, snap.Error)

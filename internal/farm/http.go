@@ -7,10 +7,24 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	bp "barrierpoint"
 	"barrierpoint/internal/store"
+)
+
+// Trace-propagation headers. The lease response lists the distinct job
+// trace IDs of the handed-out tasks; result uploads echo the task's trace
+// ID so coordinator-side logs and traces correlate without re-parsing
+// bodies. Tasks also carry the ID in their JSON (Task.TraceID) — the
+// headers are the protocol-level mirror, visible to proxies and tcpdump.
+const (
+	// TraceIDHeader carries one trace ID (result uploads).
+	TraceIDHeader = "X-Bp-Trace-Id"
+	// TraceIDsHeader carries a comma-joined list of distinct trace IDs
+	// (lease responses handing out tasks from several jobs).
+	TraceIDsHeader = "X-Bp-Trace-Ids"
 )
 
 // Server exposes a Queue over the HTTP/JSON protocol described in the
@@ -108,6 +122,9 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 	if tasks == nil {
 		tasks = []Task{}
 	}
+	if ids := distinctTraceIDs(tasks); ids != "" {
+		w.Header().Set(TraceIDsHeader, ids)
+	}
 	s.writeJSON(w, http.StatusOK, leaseResponse{Tasks: tasks, LeaseMs: s.q.LeaseTTL().Milliseconds(), Epoch: s.q.Epoch()})
 }
 
@@ -138,6 +155,24 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		dropped = []string{}
 	}
 	s.writeJSON(w, http.StatusOK, heartbeatResponse{Renewed: renewed, Dropped: dropped})
+}
+
+// distinctTraceIDs joins the distinct, non-empty task trace IDs in first-
+// appearance order for the TraceIDsHeader.
+func distinctTraceIDs(tasks []Task) string {
+	var sb strings.Builder
+	seen := make(map[string]bool, len(tasks))
+	for _, t := range tasks {
+		if t.TraceID == "" || seen[t.TraceID] {
+			continue
+		}
+		seen[t.TraceID] = true
+		if sb.Len() > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(t.TraceID)
+	}
+	return sb.String()
 }
 
 type resultRequest struct {
@@ -235,11 +270,24 @@ func (c *Client) httpClient() *http.Client {
 // post sends a JSON request and decodes a JSON response, mapping non-2xx
 // statuses onto errors carrying the server's error payload.
 func (c *Client) post(path string, req, resp any) error {
+	return c.postHeaders(path, req, resp, nil)
+}
+
+// postHeaders is post with extra request headers (trace propagation).
+func (c *Client) postHeaders(path string, req, resp any, headers map[string]string) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return err
 	}
-	hr, err := c.httpClient().Post(c.Base+path, "application/json", bytes.NewReader(body))
+	hreq, err := http.NewRequest(http.MethodPost, c.Base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	for k, v := range headers {
+		hreq.Header.Set(k, v)
+	}
+	hr, err := c.httpClient().Do(hreq)
 	if err != nil {
 		return err
 	}
@@ -302,21 +350,31 @@ func (c *Client) Heartbeat(ids []string) (dropped []string, err error) {
 	return resp.Dropped, nil
 }
 
-// Complete uploads a task's simulation result.
-func (c *Client) Complete(taskID string, res bp.RegionResult) error {
+// Complete uploads a task's simulation result, echoing the task's trace
+// ID in the TraceIDHeader so the upload correlates with its job.
+func (c *Client) Complete(t Task, res bp.RegionResult) error {
 	b, err := json.Marshal(res)
 	if err != nil {
 		return err
 	}
-	return c.post("/farm/result", resultRequest{Worker: c.Worker, Task: taskID, Result: b}, nil)
+	return c.postHeaders("/farm/result",
+		resultRequest{Worker: c.Worker, Task: t.ID, Result: b}, nil, traceHeader(t))
 }
 
 // Fail reports a task failure with a message for the task's failure log.
-func (c *Client) Fail(taskID, msg string) error {
+func (c *Client) Fail(t Task, msg string) error {
 	if msg == "" {
 		msg = "unknown error"
 	}
-	return c.post("/farm/result", resultRequest{Worker: c.Worker, Task: taskID, Error: msg}, nil)
+	return c.postHeaders("/farm/result",
+		resultRequest{Worker: c.Worker, Task: t.ID, Error: msg}, nil, traceHeader(t))
+}
+
+func traceHeader(t Task) map[string]string {
+	if t.TraceID == "" {
+		return nil
+	}
+	return map[string]string{TraceIDHeader: t.TraceID}
 }
 
 // FetchTrace downloads the trace with the given content key into the

@@ -66,7 +66,7 @@ func TestHTTPWorkerRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Complete(task.ID, res); err != nil {
+	if err := c.Complete(task, res); err != nil {
 		t.Fatal(err)
 	}
 	got, err := waitTicket(t, tk)
@@ -98,7 +98,7 @@ func TestHTTPWorkerRoundTrip(t *testing.T) {
 	if err != nil || len(tasks) != 1 {
 		t.Fatalf("second lease: %v (%d tasks)", err, len(tasks))
 	}
-	if err := c.Fail(tasks[0].ID, "simulated worker error"); err != nil {
+	if err := c.Fail(tasks[0], "simulated worker error"); err != nil {
 		t.Fatal(err)
 	}
 	if s := q.Stats(); s.Retries != 1 {

@@ -7,11 +7,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
 
 	bp "barrierpoint"
+	"barrierpoint/internal/obs"
 	"barrierpoint/internal/store"
 )
 
@@ -44,6 +46,12 @@ type Spec struct {
 	Region   int
 	Sockets  int
 	Warmup   string
+	// TraceID is the telemetry trace ID of the job enqueueing this task
+	// (see internal/obs); it rides on the task so worker-side spans link
+	// back to the coordinator job. Telemetry only — it plays no part in
+	// deduplication, so a task shared across jobs keeps the first
+	// enqueuer's trace ID.
+	TraceID string
 }
 
 // Task is the wire form of a leased task handed to a worker.
@@ -58,6 +66,10 @@ type Task struct {
 	Artifact string `json:"artifact"`
 	// Attempt is 1 for the first lease, incremented per retry.
 	Attempt int `json:"attempt"`
+	// TraceID links the task to the coordinator job that enqueued it
+	// (empty for tasks from un-instrumented enqueuers or pre-telemetry
+	// WAL journals). Telemetry only.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // task is the queue's internal task state.
@@ -67,6 +79,7 @@ type task struct {
 	leased   bool
 	worker   string
 	expires  time.Time
+	created  time.Time // enqueue (or recovery) time, for task-latency telemetry
 	failures []string
 	ticket   *Ticket
 }
@@ -198,6 +211,14 @@ type Queue struct {
 	// that never run local workers pay nothing.
 	replayOnce sync.Once
 	replay     *bp.ReplayCache
+
+	// logger, when set, gives task-attempt failures structured log lines;
+	// taskDur, when set (see Instrument), observes enqueue-to-complete
+	// latency; workerSpans retains the spans recorded by this queue's
+	// in-process workers (RunLocalWorker), queryable by trace ID.
+	logger      *slog.Logger
+	taskDur     *obs.Histogram
+	workerSpans *obs.SpanRecorder
 }
 
 // replayCache returns the queue's shared decoded-region replay cache,
@@ -220,14 +241,75 @@ func NewQueue(st *store.Store, cfg Config) *Queue {
 // NewDurableQueue can replay its journal into it first.
 func newQueue(st *store.Store, cfg Config) *Queue {
 	return &Queue{
-		st:        st,
-		cfg:       cfg.withDefaults(),
-		epoch:     newEpoch(),
-		tasks:     make(map[string]*task),
-		byDedup:   make(map[string]*task),
-		workers:   make(map[string]*workerState),
-		stopSweep: make(chan struct{}),
-		sweepDone: make(chan struct{}),
+		st:          st,
+		cfg:         cfg.withDefaults(),
+		epoch:       newEpoch(),
+		tasks:       make(map[string]*task),
+		byDedup:     make(map[string]*task),
+		workers:     make(map[string]*workerState),
+		stopSweep:   make(chan struct{}),
+		sweepDone:   make(chan struct{}),
+		workerSpans: obs.NewSpanRecorder(0),
+	}
+}
+
+// SetLogger directs structured task-failure logging (lease expiries,
+// worker-reported failures, permanent exhaustion) to l. Call before the
+// queue is shared; nil disables.
+func (q *Queue) SetLogger(l *slog.Logger) { q.logger = l }
+
+// Durable reports whether the queue journals its state to a write-ahead
+// log.
+func (q *Queue) Durable() bool { return q.wal != nil }
+
+// WorkerSpans returns the recorder holding spans from this queue's
+// in-process workers (RunLocalWorker) — the coordinator-side view of
+// farmed task execution, queryable by job trace ID.
+func (q *Queue) WorkerSpans() *obs.SpanRecorder { return q.workerSpans }
+
+// Instrument registers the queue's activity as metric families on reg
+// (bp_farm_* and bp_wal_*) and begins observing per-task and per-WAL-op
+// latencies. Call it once per queue, before the registry serves scrapes.
+func (q *Queue) Instrument(reg *obs.Registry) {
+	stat := func(f func(s Stats) float64) func() float64 {
+		return func() float64 { return f(q.Stats()) }
+	}
+	reg.CounterFunc("bp_farm_tasks_enqueued_total", "Tasks enqueued (post-dedup).",
+		stat(func(s Stats) float64 { return float64(s.Enqueued) }))
+	reg.CounterFunc("bp_farm_dedup_store_total", "Enqueues resolved from the store's point-result cache.",
+		stat(func(s Stats) float64 { return float64(s.DedupStore) }))
+	reg.CounterFunc("bp_farm_dedup_inflight_total", "Enqueues coalesced onto an identical live task.",
+		stat(func(s Stats) float64 { return float64(s.DedupInflight) }))
+	reg.CounterFunc("bp_farm_tasks_completed_total", "Tasks completed with a stored result.",
+		stat(func(s Stats) float64 { return float64(s.Completed) }))
+	reg.CounterFunc("bp_farm_tasks_failed_total", "Tasks failed permanently (attempts exhausted).",
+		stat(func(s Stats) float64 { return float64(s.Failed) }))
+	reg.CounterFunc("bp_farm_leases_expired_total", "Leases expired without heartbeat.",
+		stat(func(s Stats) float64 { return float64(s.Expired) }))
+	reg.CounterFunc("bp_farm_task_retries_total", "Failed attempts requeued for retry.",
+		stat(func(s Stats) float64 { return float64(s.Retries) }))
+	reg.GaugeFunc("bp_farm_tasks_pending", "Tasks queued and unleased.",
+		stat(func(s Stats) float64 { return float64(s.Pending) }))
+	reg.GaugeFunc("bp_farm_tasks_leased", "Tasks currently out on workers.",
+		stat(func(s Stats) float64 { return float64(s.Leased) }))
+	reg.GaugeFunc("bp_farm_live_workers", "Workers seen within three lease TTLs.",
+		stat(func(s Stats) float64 { return float64(s.LiveWorkers) }))
+	reg.CounterFunc("bp_wal_appends_total", "Write-ahead-log records appended.",
+		stat(func(s Stats) float64 { return float64(s.WALAppends) }))
+	reg.CounterFunc("bp_wal_errors_total", "Write-ahead-log append/compaction errors.",
+		stat(func(s Stats) float64 { return float64(s.WALErrors) }))
+	reg.CounterFunc("bp_wal_compactions_total", "Write-ahead-log compactions.",
+		stat(func(s Stats) float64 { return float64(s.WALCompactions) }))
+	reg.GaugeFunc("bp_wal_bytes", "Write-ahead-log size in bytes of intact frames.",
+		stat(func(s Stats) float64 { return float64(s.WALBytes) }))
+	q.taskDur = reg.Histogram("bp_farm_task_seconds",
+		"Farm task latency from enqueue to stored result.", obs.DefLatencyBuckets)
+	if q.wal != nil {
+		walDur := reg.HistogramVec("bp_wal_op_seconds",
+			"Write-ahead-log operation latency.", "op", obs.DefLatencyBuckets)
+		q.wal.SetObserver(func(op string, d time.Duration) {
+			walDur.With(op).ObserveDuration(d)
+		})
 	}
 }
 
@@ -285,7 +367,20 @@ func (q *Queue) requeueExpiredLocked(now time.Time) {
 // leased) and the error returned, and the expiry sweeper retries the
 // transition on its next pass.
 func (q *Queue) endAttemptLocked(t *task, msg string) error {
-	if t.Attempt >= q.cfg.MaxAttempts {
+	permanent := t.Attempt >= q.cfg.MaxAttempts
+	if q.logger != nil {
+		q.logger.Warn("farm task attempt failed",
+			"task", t.ID,
+			"trace_id", t.TraceID,
+			"worker", t.worker,
+			"attempt", t.Attempt,
+			"max_attempts", q.cfg.MaxAttempts,
+			"trace", t.TraceKey,
+			"region", t.Region,
+			"err", msg,
+			"permanent", permanent)
+	}
+	if permanent {
 		if err := q.appendWALLocked(walRecord{Op: opFail, ID: t.ID, Msg: msg}); err != nil {
 			return err
 		}
@@ -378,9 +473,11 @@ func (q *Queue) Enqueue(sp Spec) (*Ticket, error) {
 			Sockets:  sp.Sockets,
 			Warmup:   sp.Warmup,
 			Artifact: artifact,
+			TraceID:  sp.TraceID,
 		},
-		dedup:  dedup,
-		ticket: &Ticket{Region: sp.Region, done: make(chan struct{})},
+		dedup:   dedup,
+		created: time.Now(),
+		ticket:  &Ticket{Region: sp.Region, done: make(chan struct{})},
 	}
 	// Journal before acknowledging: a crash after this append recovers
 	// the task; an append error rejects the enqueue without applying it.
@@ -544,6 +641,9 @@ func (q *Queue) Complete(workerID, id string, resultJSON []byte) error {
 	}
 	q.stats.Completed++
 	w.info.Completed++
+	if !t.created.IsZero() {
+		q.taskDur.ObserveDuration(time.Since(t.created))
+	}
 	q.finishLocked(t, res, nil)
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	bp "barrierpoint"
+	"barrierpoint/internal/obs"
 	"barrierpoint/internal/store"
 )
 
@@ -53,6 +54,9 @@ func ExecuteTaskCached(st *store.Store, t Task, rc *bp.ReplayCache) (bp.RegionRe
 type QueueRunner struct {
 	Q        *Queue
 	TraceKey string
+	// TraceID, when set, rides on every enqueued task so worker-side spans
+	// link back to the submitting job (telemetry only; see Spec.TraceID).
+	TraceID string
 }
 
 // RunPoints implements bp.PointRunner by enqueueing one task per distinct
@@ -78,6 +82,7 @@ func (r QueueRunner) RunPoints(p bp.Program, regions []int, mc bp.MachineConfig,
 			Region:   region,
 			Sockets:  mc.Sockets,
 			Warmup:   mode.String(),
+			TraceID:  r.TraceID,
 		})
 		if err != nil {
 			return nil, err
@@ -175,9 +180,20 @@ func RunLocalWorker(ctx context.Context, q *Queue, st *store.Store, name string)
 			continue
 		}
 		for _, t := range tasks {
+			// The span carries the enqueuing job's trace ID, so the queue's
+			// WorkerSpans recorder answers "which worker ran this job's
+			// points, and how long did each stage take".
+			span := obs.NewSpan(t.TraceID, "farm-task")
+			span.SetAttr("task", t.ID)
+			span.SetAttr("worker", id)
+			stop := span.StartStage("simulate")
 			res, err := ExecuteTaskCached(st, t, rc)
+			stop()
 			if err != nil {
 				q.Fail(id, t.ID, err.Error())
+				span.SetAttr("error", err.Error())
+				span.Finish()
+				q.workerSpans.Record(span.Data())
 				continue
 			}
 			b, err := json.Marshal(res)
@@ -185,7 +201,11 @@ func RunLocalWorker(ctx context.Context, q *Queue, st *store.Store, name string)
 				q.Fail(id, t.ID, err.Error())
 				continue
 			}
+			stop = span.StartStage("upload")
 			q.Complete(id, t.ID, b)
+			stop()
+			span.Finish()
+			q.workerSpans.Record(span.Data())
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"time"
 
 	bp "barrierpoint"
 	"barrierpoint/internal/store"
@@ -227,6 +228,7 @@ func NewDurableQueue(st *store.Store, cfg Config, walPath string) (*Queue, Recov
 			Task:     wt.Task,
 			dedup:    wt.TraceKey + "|" + wt.Artifact,
 			failures: wt.failures,
+			created:  time.Now(), // latency telemetry restarts at recovery
 			ticket:   &Ticket{Region: wt.Region, done: make(chan struct{})},
 		}
 		if _, dup := q.byDedup[t.dedup]; dup {

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// LogFlags is the shared -log-level/-log-json flag pair every server
+// registers, so the fleet is configured with one vocabulary.
+type LogFlags struct {
+	Level string
+	JSON  bool
+}
+
+// RegisterLogFlags adds the shared logging flags to fs.
+func RegisterLogFlags(fs *flag.FlagSet) *LogFlags {
+	lf := &LogFlags{}
+	fs.StringVar(&lf.Level, "log-level", "info", "log level: debug, info, warn or error")
+	fs.BoolVar(&lf.JSON, "log-json", false, "emit logs as JSON lines instead of key=value text")
+	return lf
+}
+
+// Logger builds the structured logger the flags describe, writing to w.
+func (lf *LogFlags) Logger(w io.Writer) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(lf.Level)); err != nil {
+		return nil, fmt.Errorf("obs: bad -log-level %q (want debug, info, warn or error)", lf.Level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	if lf.JSON {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(h), nil
+}

@@ -14,6 +14,7 @@ import (
 	bp "barrierpoint"
 	"barrierpoint/internal/adaptive"
 	"barrierpoint/internal/farm"
+	"barrierpoint/internal/obs"
 	"barrierpoint/internal/store"
 )
 
@@ -82,6 +83,14 @@ type Snapshot struct {
 	Created  time.Time       `json:"created"`
 	Started  time.Time       `json:"started,omitzero"`
 	Finished time.Time       `json:"finished,omitzero"`
+	// TraceID is the job's telemetry trace ID, minted at Submit and
+	// propagated onto every farm task run on the job's behalf.
+	TraceID string `json:"trace_id,omitempty"`
+	// Span is the job's stage-timing span: per-stage durations (profile,
+	// cluster, simulate-points, reconstruct, adaptive-round, ...) that
+	// partition the job's wall clock, plus concurrent stages (trace-decode)
+	// that overlap them. Present once the job has started.
+	Span *obs.SpanData `json:"span,omitempty"`
 }
 
 // Terminal reports whether the job has finished (successfully or not).
@@ -123,6 +132,8 @@ type job struct {
 	result                     json.RawMessage
 	created, started, finished time.Time
 	done                       chan struct{}
+	traceID                    string
+	span                       *obs.Span // set when the job starts running
 }
 
 // maxRetained bounds the finished jobs kept for status polling: once
@@ -159,6 +170,15 @@ type Manager struct {
 
 	submitted, deduped, done, failed, cacheHits, coldAnalyses, farmed atomic.Int64
 	farmRecovered, adaptiveRounds, adaptivePromoted                   atomic.Int64
+
+	// Telemetry: reg serves GET /metrics (the atomics above stay the
+	// source of truth, bridged in via CounterFuncs); jobDur and stageDur
+	// are the per-kind job and per-stage latency histograms; spans retains
+	// finished job spans for bptool trace and debugging.
+	reg      *obs.Registry
+	jobDur   *obs.HistogramVec
+	stageDur *obs.HistogramVec
+	spans    *obs.SpanRecorder
 }
 
 // New starts a manager with the given worker count (GOMAXPROCS if <= 0)
@@ -176,7 +196,10 @@ func New(st *store.Store, workers, depth int) *Manager {
 		queue:    make(chan *job, depth),
 		jobs:     make(map[string]*job),
 		inflight: make(map[string]*job),
+		reg:      obs.NewRegistry(),
+		spans:    obs.NewSpanRecorder(0),
 	}
+	m.registerMetrics()
 	for i := 0; i < workers; i++ {
 		m.wg.Add(1)
 		go func() {
@@ -188,6 +211,62 @@ func New(st *store.Store, workers, depth int) *Manager {
 	}
 	return m
 }
+
+// registerMetrics bridges the manager's counters and caches into its
+// metrics registry. The atomics remain the single source of truth; every
+// bp_jobs_*/bp_replay_* family reads them at scrape time.
+func (m *Manager) registerMetrics() {
+	r := m.reg
+	counter := func(name, help string, a *atomic.Int64) {
+		r.CounterFunc(name, help, func() float64 { return float64(a.Load()) })
+	}
+	counter("bp_jobs_submitted_total", "Jobs accepted by Submit (dedup hits excluded).", &m.submitted)
+	counter("bp_jobs_deduped_total", "Submissions coalesced onto an in-flight identical job.", &m.deduped)
+	counter("bp_jobs_done_total", "Jobs finished successfully.", &m.done)
+	counter("bp_jobs_failed_total", "Jobs finished in error.", &m.failed)
+	counter("bp_job_cache_hits_total", "Jobs answered from the artifact store without recomputation.", &m.cacheHits)
+	counter("bp_cold_analyses_total", "Profiling+clustering runs (selection cache misses).", &m.coldAnalyses)
+	counter("bp_jobs_farmed_total", "Estimate jobs whose points ran on the distributed queue.", &m.farmed)
+	counter("bp_farm_tasks_recovered_total", "Tasks rebuilt from the farm write-ahead log at startup.", &m.farmRecovered)
+	counter("bp_adaptive_rounds_total", "Adaptive promotion rounds across all CI-targeted estimates.", &m.adaptiveRounds)
+	counter("bp_adaptive_promoted_total", "Regions promoted to detailed simulation by the adaptive sampler.", &m.adaptivePromoted)
+
+	cache := func(name, help string, f func(s bp.ReplayCacheStats) float64, gauge bool) {
+		fn := func() float64 { return f(m.ReplayCacheStats()) }
+		if gauge {
+			r.GaugeFunc(name, help, fn)
+		} else {
+			r.CounterFunc(name, help, fn)
+		}
+	}
+	cache("bp_replay_cache_hits_total", "Replay cache region hits.",
+		func(s bp.ReplayCacheStats) float64 { return float64(s.Hits) }, false)
+	cache("bp_replay_cache_misses_total", "Replay cache region misses (decodes).",
+		func(s bp.ReplayCacheStats) float64 { return float64(s.Misses) }, false)
+	cache("bp_replay_cache_evictions_total", "Replay cache LRU evictions.",
+		func(s bp.ReplayCacheStats) float64 { return float64(s.Evictions) }, false)
+	cache("bp_replay_decode_seconds_total", "Cumulative wall-clock seconds spent decoding regions.",
+		func(s bp.ReplayCacheStats) float64 { return float64(s.DecodeNs) / 1e9 }, false)
+	cache("bp_replay_cache_bytes", "Decoded bytes currently held by the replay cache.",
+		func(s bp.ReplayCacheStats) float64 { return float64(s.Bytes) }, true)
+	cache("bp_replay_cache_max_bytes", "Replay cache byte budget.",
+		func(s bp.ReplayCacheStats) float64 { return float64(s.MaxBytes) }, true)
+	cache("bp_replay_cache_entries", "Regions currently held by the replay cache.",
+		func(s bp.ReplayCacheStats) float64 { return float64(s.Entries) }, true)
+
+	m.jobDur = r.HistogramVec("bp_job_seconds", "Job wall-clock latency by kind.",
+		"kind", obs.DefLatencyBuckets)
+	m.stageDur = r.HistogramVec("bp_job_stage_seconds", "Pipeline stage latency by stage.",
+		"stage", obs.DefLatencyBuckets)
+}
+
+// Metrics returns the manager's metrics registry; servers mount
+// Metrics().Handler() at GET /metrics and may register their own series
+// on it.
+func (m *Manager) Metrics() *obs.Registry { return m.reg }
+
+// Spans returns the recorder of finished job spans, newest last.
+func (m *Manager) Spans() *obs.SpanRecorder { return m.spans }
 
 // Store returns the manager's artifact store.
 func (m *Manager) Store() *store.Store { return m.st }
@@ -204,6 +283,7 @@ func (m *Manager) SetFarm(q *farm.Queue) {
 	if q != nil {
 		rec := q.Recovery()
 		m.farmRecovered.Store(int64(rec.Pending + rec.Requeued))
+		q.Instrument(m.reg)
 	}
 }
 
@@ -354,6 +434,7 @@ func (m *Manager) Submit(req Request) (Snapshot, error) {
 		status:  StatusQueued,
 		created: time.Now(),
 		done:    make(chan struct{}),
+		traceID: obs.NewTraceID(),
 	}
 	select {
 	case m.queue <- j:
@@ -472,7 +553,7 @@ func (m *Manager) pruneLocked() {
 
 // snapshotLocked copies a job's state; m.mu must be held.
 func (m *Manager) snapshotLocked(j *job) Snapshot {
-	return Snapshot{
+	s := Snapshot{
 		ID:       j.id,
 		Request:  j.req,
 		Status:   j.status,
@@ -482,7 +563,13 @@ func (m *Manager) snapshotLocked(j *job) Snapshot {
 		Created:  j.created,
 		Started:  j.started,
 		Finished: j.finished,
+		TraceID:  j.traceID,
 	}
+	if j.span != nil {
+		d := j.span.Data()
+		s.Span = &d
+	}
+	return s
 }
 
 // run executes one job on a worker goroutine.
@@ -490,9 +577,23 @@ func (m *Manager) run(j *job) {
 	m.mu.Lock()
 	j.status = StatusRunning
 	j.started = time.Now()
+	j.span = obs.NewSpan(j.traceID, string(j.req.Kind))
+	j.span.SetAttr("job", j.id)
 	m.mu.Unlock()
 
+	// Region decoding happens inside profiling and simulation, so its time
+	// is attributed as a concurrent stage: the delta in the replay cache's
+	// cumulative decode clock across the job's execution. The clock is
+	// shared, so jobs running at the same time over one cache may attribute
+	// each other's decodes — fine for a concurrent (non-partition) stage.
+	decode0 := m.ReplayCacheStats().DecodeNs
 	result, cached, err := m.execute(j)
+	if d := m.ReplayCacheStats().DecodeNs - decode0; d > 0 {
+		j.span.ObserveConcurrent("trace-decode", time.Duration(d))
+	}
+	j.span.Finish()
+	m.jobDur.With(string(j.req.Kind)).ObserveDuration(time.Since(j.started))
+	m.spans.Record(j.span.Data())
 
 	m.mu.Lock()
 	j.finished = time.Now()
@@ -518,12 +619,22 @@ func (m *Manager) run(j *job) {
 	close(j.done)
 }
 
+// stageObserver feeds one job's stage timings to both its span and the
+// manager-wide per-stage histogram.
+func (m *Manager) stageObserver(j *job) bp.StageObserver {
+	return func(stage string, d time.Duration) {
+		j.span.Observe(stage, d)
+		m.stageDur.With(stage).ObserveDuration(d)
+	}
+}
+
 // execute dispatches on the job kind. The cached return value reports that
 // the job's own result artifact was already in the store.
 func (m *Manager) execute(j *job) (json.RawMessage, bool, error) {
+	obsrv := m.stageObserver(j)
 	switch j.req.Kind {
 	case KindAnalyze:
-		sel, cached, err := AnalyzeCachedReplay(m.st, j.req.Trace, j.cfg, m.replay)
+		sel, cached, err := AnalyzeCachedObserved(m.st, j.req.Trace, j.cfg, m.replay, obsrv)
 		if err != nil {
 			return nil, false, err
 		}
@@ -550,13 +661,14 @@ func (m *Manager) execute(j *job) (json.RawMessage, bool, error) {
 		} else if !errors.Is(err, store.ErrNotFound) {
 			return nil, false, err
 		}
-		selBytes, selCached, err := AnalyzeCachedReplay(m.st, j.req.Trace, j.cfg, m.replay)
+		selBytes, selCached, err := AnalyzeCachedObserved(m.st, j.req.Trace, j.cfg, m.replay, obsrv)
 		if err != nil {
 			return nil, false, err
 		}
 		if !selCached {
 			m.coldAnalyses.Add(1)
 		}
+		bind0 := time.Now()
 		sel, err := bp.LoadSelection(bytes.NewReader(selBytes))
 		if err != nil {
 			return nil, false, err
@@ -567,11 +679,13 @@ func (m *Manager) execute(j *job) (json.RawMessage, bool, error) {
 		if err != nil {
 			return nil, false, err
 		}
+		obsrv("bind", time.Since(bind0))
 		// The adaptive controller drives the same runner the plain estimate
 		// would use, so promotions farm out (and cache per point) exactly
 		// like the initial barrierpoints. With no target it just attaches
 		// intervals to the standard one-point-per-cluster estimate.
-		res, err := adaptive.Run(a, m.pointRunner(j), mc, j.mode, adaptive.Options{TargetRel: j.req.TargetCI})
+		res, err := adaptive.Run(a, m.pointRunner(j), mc, j.mode,
+			adaptive.Options{TargetRel: j.req.TargetCI, Observer: obsrv})
 		if err != nil {
 			return nil, false, err
 		}
@@ -596,7 +710,9 @@ func (m *Manager) execute(j *job) (json.RawMessage, bool, error) {
 		} else if !errors.Is(err, store.ErrNotFound) {
 			return nil, false, err
 		}
+		sim0 := time.Now()
 		full, err := bp.SimulateFull(m.replay.Program(f, j.req.Trace), mc)
+		obsrv("simulate-full", time.Since(sim0))
 		if err != nil {
 			return nil, false, err
 		}
@@ -623,7 +739,7 @@ func (m *Manager) pointRunner(j *job) bp.PointRunner {
 	}
 	if useFarm {
 		m.farmed.Add(1)
-		return farm.QueueRunner{Q: m.farm, TraceKey: j.req.Trace}
+		return farm.QueueRunner{Q: m.farm, TraceKey: j.req.Trace, TraceID: j.traceID}
 	}
 	return &farm.CachedRunner{St: m.st, TraceKey: j.req.Trace, Inner: bp.LocalRunner{}}
 }

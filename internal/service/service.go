@@ -38,9 +38,9 @@ import (
 
 // analyzeFn is the profiling+clustering entry point. It is a variable so
 // tests can prove the cached path never re-profiles: the cache-hit test
-// swaps in a function that fails the test if invoked (bp.Analyze is the
-// only caller of profile.Program in this path).
-var analyzeFn = bp.Analyze
+// swaps in a function that fails the test if invoked (bp.AnalyzeObserved
+// is the only caller of profile.Program in this path).
+var analyzeFn = bp.AnalyzeObserved
 
 // hashJSON is the store-wide artifact config hash (see store.HashJSON).
 func hashJSON(v any) string { return store.HashJSON(v) }
@@ -135,6 +135,15 @@ func AnalyzeCached(st *store.Store, key string, cfg bp.Config) (sel []byte, cach
 // key), so a following estimate or simulate over the same cache replays
 // regions without touching the trace file. A nil rc streams from disk.
 func AnalyzeCachedReplay(st *store.Store, key string, cfg bp.Config, rc *bp.ReplayCache) (sel []byte, cached bool, err error) {
+	return AnalyzeCachedObserved(st, key, cfg, rc, nil)
+}
+
+// AnalyzeCachedObserved is AnalyzeCachedReplay with stage telemetry: a
+// cold analysis reports its "profile" and "cluster" stage durations to
+// obsrv. Cache hits and waits on another caller's in-flight computation
+// report nothing — no profiling ran in this call. The observer never
+// influences the computed selection.
+func AnalyzeCachedObserved(st *store.Store, key string, cfg bp.Config, rc *bp.ReplayCache, obsrv bp.StageObserver) (sel []byte, cached bool, err error) {
 	name := SelectionArtifact(cfg)
 	flightKey := st.Root() + "|" + key + "|" + name
 	for {
@@ -153,7 +162,7 @@ func AnalyzeCachedReplay(st *store.Store, key string, cfg bp.Config, rc *bp.Repl
 		analyzeFlights[flightKey] = ch
 		analyzeMu.Unlock()
 
-		sel, err := computeSelection(st, key, cfg, name, rc)
+		sel, err := computeSelection(st, key, cfg, name, rc, obsrv)
 		analyzeMu.Lock()
 		delete(analyzeFlights, flightKey)
 		analyzeMu.Unlock()
@@ -163,13 +172,13 @@ func AnalyzeCachedReplay(st *store.Store, key string, cfg bp.Config, rc *bp.Repl
 }
 
 // computeSelection runs the cold path: profile, cluster, serialize, cache.
-func computeSelection(st *store.Store, key string, cfg bp.Config, name string, rc *bp.ReplayCache) ([]byte, error) {
+func computeSelection(st *store.Store, key string, cfg bp.Config, name string, rc *bp.ReplayCache, obsrv bp.StageObserver) ([]byte, error) {
 	f, err := st.OpenTrace(key)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	a, err := analyzeFn(rc.Program(f, key), cfg)
+	a, err := analyzeFn(rc.Program(f, key), cfg, obsrv)
 	if err != nil {
 		return nil, err
 	}

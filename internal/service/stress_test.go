@@ -31,11 +31,11 @@ func TestSubmitShutdownRace(t *testing.T) {
 	analyzeCalls := map[string]int{}
 	orig := analyzeFn
 	defer func() { analyzeFn = orig }()
-	analyzeFn = func(p bp.Program, cfg bp.Config) (*bp.Analysis, error) {
+	analyzeFn = func(p bp.Program, cfg bp.Config, obsrv bp.StageObserver) (*bp.Analysis, error) {
 		mu.Lock()
 		analyzeCalls[cfg.Signature.Label()]++
 		mu.Unlock()
-		return orig(p, cfg)
+		return orig(p, cfg, obsrv)
 	}
 
 	m := New(st, 4, 256)

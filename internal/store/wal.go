@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 )
 
 // This file is the store's write-ahead-log layer: an append-only record
@@ -135,6 +136,21 @@ type WAL struct {
 	size   int64 // bytes of intact frames on disk
 	hooks  *WALHooks
 	broken bool
+	// observer, when set, receives the wall-clock duration of each durable
+	// operation: op "append" per Append, "rewrite" per Rewrite (compaction).
+	// Telemetry only; it runs after the operation's outcome is decided.
+	observer func(op string, d time.Duration)
+}
+
+// SetObserver installs a per-operation timing observer (nil to remove).
+// Call it before the WAL is shared across goroutines; observers must be
+// safe for concurrent use if appends are.
+func (w *WAL) SetObserver(fn func(op string, d time.Duration)) { w.observer = fn }
+
+func (w *WAL) observe(op string, t0 time.Time) {
+	if w.observer != nil {
+		w.observer(op, time.Since(t0))
+	}
 }
 
 // OpenWAL opens (creating if needed) the log at path for appending. Any
@@ -183,6 +199,7 @@ func (w *WAL) Append(payload []byte) error {
 	if w.broken {
 		return ErrWALBroken
 	}
+	defer w.observe("append", time.Now())
 	frame := walFrame(payload)
 	err := w.writeFrame(frame)
 	if err == nil {
@@ -219,6 +236,7 @@ func (w *WAL) writeFrame(frame []byte) error {
 // primitive — a crash at any point leaves either the old log or the new
 // one, never a mix.
 func (w *WAL) Rewrite(payloads [][]byte) error {
+	defer w.observe("rewrite", time.Now())
 	dir := filepath.Dir(w.path)
 	tmp, err := os.CreateTemp(dir, ".wal-*")
 	if err != nil {

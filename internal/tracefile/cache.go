@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"errors"
 	"sync"
+	"time"
 	"unsafe"
 
 	"barrierpoint/internal/trace"
@@ -72,7 +73,7 @@ type RegionCache struct {
 	// unbounded.
 	skip map[regionKey]struct{}
 
-	hits, misses, evictions int64
+	hits, misses, evictions, decodeNs int64
 }
 
 type regionKey struct {
@@ -98,6 +99,9 @@ type CacheStats struct {
 	Entries   int   `json:"entries"`
 	Bytes     int64 `json:"bytes"`
 	MaxBytes  int64 `json:"max_bytes"`
+	// DecodeNs is the cumulative wall-clock time spent decoding regions
+	// (cache-miss work), including failed and budget-aborted decodes.
+	DecodeNs int64 `json:"decode_ns"`
 }
 
 // NewRegionCache returns a cache bounded to maxBytes of decoded region
@@ -128,6 +132,7 @@ func (c *RegionCache) Stats() CacheStats {
 		Entries:   len(c.entries),
 		Bytes:     c.bytes,
 		MaxBytes:  c.max,
+		DecodeNs:  c.decodeNs,
 	}
 }
 
@@ -210,13 +215,16 @@ func (c *RegionCache) region(p trace.Program, id string, idx int) *cacheEntry {
 	c.misses++
 	c.mu.Unlock()
 
+	t0 := time.Now()
 	threads, size, err := decodeRegion(p, idx, c.max)
+	decodeDur := time.Since(t0)
 
 	// Publish the result and account its size in one critical section:
 	// eviction skips entries whose ready channel is still open, so closing
 	// it under the same lock that adds the size keeps the byte accounting
 	// consistent with the LRU contents.
 	c.mu.Lock()
+	c.decodeNs += decodeDur.Nanoseconds()
 	e.threads, e.size, e.err = threads, size, err
 	if err != nil {
 		// Never retain failures (including budget-aborted decodes);
