@@ -16,6 +16,7 @@ import (
 	"barrierpoint/internal/experiments"
 	"barrierpoint/internal/obs"
 	"barrierpoint/internal/service"
+	"barrierpoint/internal/signature"
 	"barrierpoint/internal/store"
 	"barrierpoint/internal/workload"
 )
@@ -187,20 +188,45 @@ func newBenchStore(b *testing.B) (*store.Store, string) {
 }
 
 // BenchmarkAnalyzeColdStore measures analyze throughput through the store
-// with the selection artifact invalidated every iteration: the full
-// profile+cluster cost plus artifact write. Compare to
-// BenchmarkAnalyzeCachedStore for the cache's speedup.
+// with the selection artifact AND every cached region profile invalidated
+// each iteration: the full profile+cluster cost plus artifact writes.
+// Compare to BenchmarkAnalyzeCachedStore for the artifact cache's speedup
+// and to BenchmarkRecluster for the profile cache's.
 func BenchmarkAnalyzeColdStore(b *testing.B) {
 	st, key := newBenchStore(b)
 	cfg := bp.DefaultConfig()
 	name := service.SelectionArtifact(cfg)
+	f, err := st.OpenTrace(key)
+	if err != nil {
+		b.Fatal(err)
+	}
+	digests := make([]string, f.Regions())
+	distinct := make(map[string]bool)
+	for i := range digests {
+		if digests[i], err = f.RegionDigest(i); err != nil {
+			b.Fatal(err)
+		}
+		distinct[digests[i]] = true
+	}
+	f.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := st.RemoveArtifact(key, name); err != nil {
 			b.Fatal(err)
 		}
-		if _, cached, err := service.AnalyzeCached(st, key, cfg); err != nil || cached {
+		for _, d := range digests {
+			if err := st.RemoveProfile(d, signature.CodecVersion); err != nil {
+				b.Fatal(err)
+			}
+		}
+		_, cached, stats, err := service.AnalyzeCachedProfiled(st, key, cfg, nil, nil)
+		if err != nil || cached {
 			b.Fatalf("cold analyze: cached=%v err=%v", cached, err)
+		}
+		// Repeated region content dedups within the run; every distinct
+		// region must still have been profiled fresh.
+		if stats.Computed != len(distinct) {
+			b.Fatalf("cold analyze computed %d profiles, want %d distinct", stats.Computed, len(distinct))
 		}
 	}
 }
@@ -218,6 +244,39 @@ func BenchmarkAnalyzeCachedStore(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, cached, err := service.AnalyzeCached(st, key, cfg); err != nil || !cached {
 			b.Fatalf("cached analyze: cached=%v err=%v", cached, err)
+		}
+	}
+}
+
+// BenchmarkRecluster measures re-clustering over a warm profile cache:
+// the per-region profiles are content-addressed, so after one analysis
+// (or a streaming upload) a request with a different clustering config —
+// here MaxK — reuses every cached profile and pays only k-means plus the
+// artifact write. The gap to BenchmarkAnalyzeColdStore is the profiling
+// cost the cache removes.
+func BenchmarkRecluster(b *testing.B) {
+	st, key := newBenchStore(b)
+	// One cold analysis fills the content-addressed profile cache.
+	if _, cached, err := service.AnalyzeCached(st, key, bp.DefaultConfig()); err != nil || cached {
+		b.Fatalf("warm-up analyze: cached=%v err=%v", cached, err)
+	}
+	cfg, err := service.ConfigFor("", 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	name := service.SelectionArtifact(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.RemoveArtifact(key, name); err != nil {
+			b.Fatal(err)
+		}
+		_, cached, stats, err := service.AnalyzeCachedProfiled(st, key, cfg, nil, nil)
+		if err != nil || cached {
+			b.Fatalf("recluster: cached=%v err=%v", cached, err)
+		}
+		if stats.Computed != 0 || stats.Cached != stats.Regions {
+			b.Fatalf("recluster profiled %d/%d regions fresh, want all %d from cache",
+				stats.Computed, stats.Regions, stats.Regions)
 		}
 	}
 }

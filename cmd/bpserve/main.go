@@ -58,6 +58,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -65,6 +66,7 @@ import (
 	"barrierpoint/internal/obs"
 	"barrierpoint/internal/service"
 	"barrierpoint/internal/store"
+	"barrierpoint/internal/tracefile"
 )
 
 func main() {
@@ -269,6 +271,19 @@ type traceMeta struct {
 	SizeBytes int64    `json:"size_bytes"`
 	Existed   bool     `json:"existed,omitempty"`
 	Artifacts []string `json:"artifacts,omitempty"`
+	// Ingest reports how the upload that created this response was
+	// processed; present only on POST /v1/traces responses.
+	Ingest *ingestStats `json:"ingest,omitempty"`
+}
+
+// ingestStats is the upload-time profiling summary: with a streamed
+// (version-2) upload, every region profile is already cached by the time
+// the client sees the 201, so profiles_computed regions were profiled
+// in-flight and a following analyze computes none.
+type ingestStats struct {
+	Streamed         bool `json:"streamed"`
+	ProfilesCached   int  `json:"profiles_cached"`
+	ProfilesComputed int  `json:"profiles_computed"`
 }
 
 // meta opens the stored trace and summarizes it.
@@ -295,36 +310,53 @@ func (s *server) meta(key string) (traceMeta, error) {
 	}, nil
 }
 
-// handleUpload stores the request body as a trace. The body is capped at
-// maxUpload bytes and must be a valid .bptrace; invalid or oversized
-// uploads are rejected and not stored.
+// handleUpload streams the request body into the store as a trace: the
+// bytes are hashed, durably persisted and — for version-2 uploads —
+// profiled region by region while the transfer is still in progress, so
+// by the time the 201 is written every region profile is cached. The body
+// is capped at maxUpload bytes; invalid or oversized uploads are rejected
+// and leave nothing behind (no trace, no partial profiles).
 func (s *server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, s.maxUpload)
-	key, existed, err := s.st.PutTrace(body)
+	res, err := s.mgr.IngestTrace(body)
 	if err != nil {
 		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
+		switch {
+		case errors.As(err, &tooBig):
 			jsonError(w, http.StatusRequestEntityTooLarge, "trace exceeds the %d byte upload limit", tooBig.Limit)
-			return
+		case errors.Is(err, tracefile.ErrFormat):
+			// The decoder may reject garbage before the size cap trips;
+			// drain the capped body so an oversized upload still answers
+			// 413, not a misleading format error.
+			if _, derr := io.Copy(io.Discard, body); errors.As(derr, &tooBig) {
+				jsonError(w, http.StatusRequestEntityTooLarge, "trace exceeds the %d byte upload limit", tooBig.Limit)
+				return
+			}
+			jsonError(w, http.StatusBadRequest, "invalid trace: %v", err)
+		default:
+			jsonError(w, http.StatusInternalServerError, "storing trace: %v", err)
 		}
-		jsonError(w, http.StatusInternalServerError, "storing trace: %v", err)
 		return
 	}
-	m, err := s.meta(key)
+	m, err := s.meta(res.Key)
 	if err != nil {
-		// The bytes are not a readable trace. A pre-existing key means a
-		// valid trace already had this content, which is impossible for a
-		// newly-invalid body — so this only fires for fresh uploads.
-		if !existed {
-			s.st.RemoveTrace(key)
+		// IngestTrace validated the bytes, so this is a store-side failure;
+		// mirror RemoveTrace cleanup for fresh uploads all the same.
+		if !res.Existed {
+			s.st.RemoveTrace(res.Key)
 		}
-		jsonError(w, http.StatusBadRequest, "invalid trace: %v", err)
+		jsonError(w, http.StatusInternalServerError, "reading stored trace: %v", err)
 		return
 	}
-	m.Existed = existed
+	m.Existed = res.Existed
+	m.Ingest = &ingestStats{
+		Streamed:         res.Streamed,
+		ProfilesCached:   res.ProfilesCached,
+		ProfilesComputed: res.ProfilesComputed,
+	}
 	s.uploads.Add(1)
 	code := http.StatusCreated
-	if existed {
+	if res.Existed {
 		code = http.StatusOK
 	}
 	writeJSON(w, code, m)
@@ -368,7 +400,15 @@ func (s *server) handleGetSelection(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusNotFound, "trace %s not found", key)
 		return
 	}
-	cfg, err := service.ParseSignature(r.URL.Query().Get("signature"))
+	maxK := 0
+	if v := r.URL.Query().Get("max_k"); v != "" {
+		var err error
+		if maxK, err = strconv.Atoi(v); err != nil {
+			jsonError(w, http.StatusBadRequest, "max_k: %v", err)
+			return
+		}
+	}
+	cfg, err := service.ConfigFor(r.URL.Query().Get("signature"), maxK)
 	if err != nil {
 		jsonError(w, http.StatusBadRequest, "%v", err)
 		return

@@ -568,3 +568,89 @@ func TestMetricsAndHealthEndpoints(t *testing.T) {
 		t.Error("in-memory queue reported a durable WAL")
 	}
 }
+
+// TestStreamingIngestEndToEnd drives the streaming upload path over HTTP:
+// the upload response reports in-flight profiling, the analyze that
+// follows computes zero region profiles, a re-analysis with a different
+// max_k reuses 100% of them, and the profile-cache counters surface on
+// /metrics.
+func TestStreamingIngestEndToEnd(t *testing.T) {
+	ts, _ := newTestServer(t)
+	base := ts.URL
+
+	var buf bytes.Buffer
+	if err := tracefile.Record(&buf, workload.New("npb-is", 8, workload.WithScale(0.05))); err != nil {
+		t.Fatal(err)
+	}
+
+	var meta struct {
+		Key     string `json:"key"`
+		Regions int    `json:"regions"`
+		Ingest  *struct {
+			Streamed         bool `json:"streamed"`
+			ProfilesCached   int  `json:"profiles_cached"`
+			ProfilesComputed int  `json:"profiles_computed"`
+		} `json:"ingest"`
+	}
+	doJSON(t, "POST", base+"/v1/traces", buf.Bytes(), http.StatusCreated, &meta)
+	if meta.Ingest == nil || !meta.Ingest.Streamed {
+		t.Fatalf("upload not streamed: %+v", meta.Ingest)
+	}
+	if meta.Ingest.ProfilesComputed != meta.Regions || meta.Ingest.ProfilesCached != 0 {
+		t.Fatalf("upload profiled %d/%d regions (%d cached)",
+			meta.Ingest.ProfilesComputed, meta.Regions, meta.Ingest.ProfilesCached)
+	}
+
+	// Analyze right after the upload: all profiles come from the cache.
+	analyze := func(body string) service.Snapshot {
+		var snap service.Snapshot
+		doJSON(t, "POST", base+"/v1/jobs", []byte(body), http.StatusAccepted, &snap)
+		snap = pollJob(t, base, snap.ID)
+		if snap.Status != service.StatusDone {
+			t.Fatalf("analyze failed: %s", snap.Error)
+		}
+		return snap
+	}
+	snap := analyze(fmt.Sprintf(`{"kind":"analyze","trace":%q}`, meta.Key))
+	if snap.Span == nil {
+		t.Fatal("analyze job has no span")
+	}
+	if got := snap.Span.Attrs["profiles_computed"]; got != "0" {
+		t.Errorf("analyze after streamed upload computed %s profiles, want 0", got)
+	}
+	if got := snap.Span.Attrs["profiles_cached"]; got != fmt.Sprint(meta.Regions) {
+		t.Errorf("analyze profiles_cached attr = %q, want %d", got, meta.Regions)
+	}
+	stages := make(map[string]bool)
+	for _, st := range snap.Span.Stages {
+		stages[st.Name] = true
+	}
+	if !stages["profile-cache"] || stages["profile"] {
+		t.Errorf("analyze stages %v, want profile-cache and no profile", snap.Span.Stages)
+	}
+
+	// Re-cluster with a different max_k: new artifact, zero re-profiling.
+	snap2 := analyze(fmt.Sprintf(`{"kind":"analyze","trace":%q,"max_k":7}`, meta.Key))
+	if snap2.Cached {
+		t.Fatal("max_k=7 analysis hit the default artifact")
+	}
+	if got := snap2.Span.Attrs["profiles_computed"]; got != "0" {
+		t.Errorf("re-cluster computed %s profiles, want 0", got)
+	}
+
+	// The max_k selection is served with the matching query parameter.
+	doJSON(t, "GET", base+"/v1/selections/"+meta.Key+"?max_k=7", nil, http.StatusOK, nil)
+
+	// Counters surfaced on /metrics.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"bp_profile_cache_hits_total", "bp_profile_computed_total", "bp_ingest_traces_total 1", "bp_ingest_profiles_total"} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

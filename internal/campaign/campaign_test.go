@@ -72,6 +72,7 @@ func TestSpecValidate(t *testing.T) {
 		"orphan-sockets":   func(s *Spec) { s.Sockets = []int{4} }, // 32 cores, but only 8-thread traces
 		"negative-ci":      func(s *Spec) { s.TargetCI = -0.1 },
 		"huge-ci":          func(s *Spec) { s.TargetCI = 1.5 },
+		"negative-max-k":   func(s *Spec) { s.MaxKs = []int{-3} },
 	}
 	for name, mutate := range cases {
 		t.Run(name, func(t *testing.T) {
@@ -136,6 +137,55 @@ func TestSpecHashIgnoresNameAndExec(t *testing.T) {
 	d.ApplyDefaults()
 	if a.Hash() == d.Hash() {
 		t.Fatal("target_ci change kept the identity hash — adaptive and plain cells would share a manifest")
+	}
+}
+
+// TestMaxKsAxis pins the compatibility contract of the max_ks sweep
+// dimension: specs that don't use it hash and expand exactly as before
+// the field existed (old manifests resume, old cell IDs match), while a
+// sweep multiplies the grid and marks only the override cells.
+func TestMaxKsAxis(t *testing.T) {
+	a := testSpec("a")
+	a.ApplyDefaults()
+	// An empty (vs nil) slice must not move the hash either — both mean
+	// "no sweep" and must resume pre-field manifests.
+	b := testSpec("a")
+	b.MaxKs = []int{}
+	b.ApplyDefaults()
+	if a.Hash() != b.Hash() {
+		t.Fatal("empty max_ks changed the identity hash — old manifests would not resume")
+	}
+	c := testSpec("a")
+	c.MaxKs = []int{7}
+	c.ApplyDefaults()
+	if a.Hash() == c.Hash() {
+		t.Fatal("max_ks change kept the identity hash — stale clusterings would be reused")
+	}
+
+	// Without a sweep, cells carry MaxK 0 and their IDs have no -k suffix.
+	for _, cell := range a.Expand() {
+		if cell.MaxK != 0 || strings.Contains(cell.ID(), "-k") {
+			t.Fatalf("default spec produced max-k cell %q", cell.ID())
+		}
+	}
+	// A sweep multiplies the grid; only explicit overrides get the suffix.
+	s := testSpec("sweep")
+	s.MaxKs = []int{0, 7}
+	s.ApplyDefaults()
+	cells := s.Expand()
+	if len(cells) != 2*len(a.Expand()) {
+		t.Fatalf("2-value max_ks sweep produced %d cells, want %d", len(cells), 2*len(a.Expand()))
+	}
+	var ids []string
+	for _, cell := range cells {
+		ids = append(ids, cell.ID())
+	}
+	want := []string{
+		"npb-is-8t-s0-combine-cold", "npb-is-8t-s0-combine-mru",
+		"npb-is-8t-s0-combine-cold-k7", "npb-is-8t-s0-combine-mru-k7",
+	}
+	if strings.Join(ids, " ") != strings.Join(want, " ") {
+		t.Fatalf("max_ks expand order:\n got %v\nwant %v", ids, want)
 	}
 }
 

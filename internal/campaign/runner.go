@@ -89,7 +89,10 @@ func (r *ServiceRunner) Traces() map[string]string {
 
 // ensureTrace records the cell's workload into the store (once per
 // workload × thread count — workload generation is deterministic, so the
-// content key is stable) and returns its content key.
+// content key is stable) and returns its content key. The recording goes
+// through the manager's streaming ingest, so per-region profiles are
+// computed and cached while the trace is still being generated: the
+// estimate jobs that follow start with a warm profile cache.
 func (r *ServiceRunner) ensureTrace(c Cell) (string, error) {
 	id := fmt.Sprintf("%s/%d", c.Workload, c.Threads)
 	r.mu.Lock()
@@ -108,16 +111,17 @@ func (r *ServiceRunner) ensureTrace(c Cell) (string, error) {
 	}
 	// Stream the recording straight into the store; byte-identical
 	// content already filed (a previous run, a sibling campaign) is
-	// discarded by PutTrace.
+	// discarded at commit, and its cached region profiles are reused.
 	pr, pw := io.Pipe()
 	go func() { pw.CloseWithError(bp.RecordTrace(pw, prog)) }()
-	key, _, err := r.M.Store().PutTrace(pr)
+	res, err := r.M.IngestTrace(pr)
 	if err != nil {
-		// Unblock the recorder if PutTrace bailed before draining the
+		// Unblock the recorder if ingest bailed before draining the
 		// pipe (e.g. a failed temp-file write), or it leaks.
 		pr.CloseWithError(err)
 		return "", fmt.Errorf("campaign: recording %s: %w", id, err)
 	}
+	key := res.Key
 	r.mu.Lock()
 	r.traces[id] = key
 	r.mu.Unlock()
@@ -144,6 +148,7 @@ func (r *ServiceRunner) RunCell(c Cell) (CellResult, error) {
 		Kind:      service.KindEstimate,
 		Trace:     key,
 		Signature: c.Signature,
+		MaxK:      c.MaxK,
 		Sockets:   c.Sockets,
 		Warmup:    c.Warmup,
 		Exec:      r.Exec,
@@ -217,7 +222,7 @@ func (r *ServiceRunner) runJob(req service.Request) (service.EstimateResult, err
 // cell's Fig. 9 instruction-count reductions from it — no profiling, no
 // simulation, just the stored artifact bound to the stored trace.
 func (r *ServiceRunner) speedups(key string, c Cell) (serial, parallel float64, err error) {
-	cfg, err := service.ParseSignature(c.Signature)
+	cfg, err := service.ConfigFor(c.Signature, c.MaxK)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -30,8 +30,13 @@ type Spec struct {
 	// from the thread count (threads/8). Defaults to [0].
 	Sockets    []int    `json:"sockets,omitempty"`
 	Signatures []string `json:"signatures,omitempty"` // default ["combine"]
-	Warmups    []string `json:"warmups,omitempty"`    // default ["mru+prev"]
-	Scale      float64  `json:"scale,omitempty"`      // default 1.0
+	// MaxKs lists maximum-cluster-count overrides to sweep; 0 (the default)
+	// is the paper's clustering default. The per-region profiles are keyed
+	// by region content, independent of MaxK, so a MaxKs sweep profiles
+	// each trace once and pays only k-means per extra value.
+	MaxKs   []int    `json:"max_ks,omitempty"`  // default [0]
+	Warmups []string `json:"warmups,omitempty"` // default ["mru+prev"]
+	Scale   float64  `json:"scale,omitempty"`   // default 1.0
 	// TargetCI, when positive, makes every estimate adaptive: the service
 	// promotes extra regions to detailed simulation until the runtime
 	// estimate's relative confidence interval reaches the target (see
@@ -136,6 +141,11 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("campaign: %w", err)
 		}
 	}
+	for _, k := range s.MaxKs {
+		if k < 0 {
+			return fmt.Errorf("campaign: max_ks entries must be >= 0 (0 is the default clustering), got %d", k)
+		}
+	}
 	for _, wm := range s.Warmups {
 		if wm == WarmupPerfect {
 			continue
@@ -163,13 +173,15 @@ type identity struct {
 	Warmups    []string `json:"warmups"`
 	Scale      float64  `json:"scale"`
 	// omitempty keeps zero-target specs on the hash they had before the
-	// field existed, so old manifests still resume.
+	// field existed, so old manifests still resume. Same for MaxKs: a spec
+	// without a max_ks sweep hashes as it always did.
 	TargetCI float64 `json:"target_ci,omitempty"`
+	MaxKs    []int   `json:"max_ks,omitempty"`
 }
 
 // Hash returns the spec's identity hash (see store.HashJSON).
 func (s Spec) Hash() string {
-	return store.HashJSON(identity{s.Workloads, s.Threads, s.Sockets, s.Signatures, s.Warmups, s.Scale, s.TargetCI})
+	return store.HashJSON(identity{s.Workloads, s.Threads, s.Sockets, s.Signatures, s.Warmups, s.Scale, s.TargetCI, s.MaxKs})
 }
 
 // ManifestName is the store-side manifest filename of this spec.
@@ -187,16 +199,23 @@ type Cell struct {
 	Threads   int     `json:"threads"`
 	Sockets   int     `json:"sockets"` // 0 = derived from Threads
 	Signature string  `json:"signature"`
+	MaxK      int     `json:"max_k,omitempty"` // 0 = default clustering
 	Warmup    string  `json:"warmup"`
 	Scale     float64 `json:"scale"`
 }
 
 // ID is the cell's manifest key: its grid coordinates, in the store's
 // artifact-name charset. Scale is spec-wide and already part of the
-// manifest's identity hash, so it does not reappear here.
+// manifest's identity hash, so it does not reappear here. The MaxK
+// suffix appears only for explicit overrides, so default-clustering cell
+// IDs (and the manifests naming them) are unchanged from older versions.
 func (c Cell) ID() string {
-	return fmt.Sprintf("%s-%dt-s%d-%s-%s", c.Workload, c.Threads, c.Sockets,
+	id := fmt.Sprintf("%s-%dt-s%d-%s-%s", c.Workload, c.Threads, c.Sockets,
 		store.SanitizeLabel(c.Signature), store.SanitizeLabel(c.Warmup))
+	if c.MaxK > 0 {
+		id += fmt.Sprintf("-k%d", c.MaxK)
+	}
+	return id
 }
 
 // EffectiveSockets is the Table I machine size the cell simulates.
@@ -208,12 +227,16 @@ func (c Cell) EffectiveSockets() int {
 }
 
 // Expand enumerates the grid in deterministic order: workloads outermost,
-// then threads, sockets, signatures, warmups. (Explicit socket counts
-// that cannot host a thread count are skipped; Validate guarantees each
-// matches at least one.) Every resumed or re-run campaign walks cells in
-// exactly this order, which is what makes matrices comparable byte for
-// byte.
+// then threads, sockets, signatures, max-k overrides, warmups. (Explicit
+// socket counts that cannot host a thread count are skipped; Validate
+// guarantees each matches at least one.) Every resumed or re-run campaign
+// walks cells in exactly this order, which is what makes matrices
+// comparable byte for byte.
 func (s Spec) Expand() []Cell {
+	maxKs := s.MaxKs
+	if len(maxKs) == 0 {
+		maxKs = []int{0}
+	}
 	var cells []Cell
 	for _, w := range s.Workloads {
 		for _, th := range s.Threads {
@@ -222,15 +245,18 @@ func (s Spec) Expand() []Cell {
 					continue
 				}
 				for _, sig := range s.Signatures {
-					for _, wm := range s.Warmups {
-						cells = append(cells, Cell{
-							Workload:  w,
-							Threads:   th,
-							Sockets:   sk,
-							Signature: sig,
-							Warmup:    wm,
-							Scale:     s.Scale,
-						})
+					for _, k := range maxKs {
+						for _, wm := range s.Warmups {
+							cells = append(cells, Cell{
+								Workload:  w,
+								Threads:   th,
+								Sockets:   sk,
+								Signature: sig,
+								MaxK:      k,
+								Warmup:    wm,
+								Scale:     s.Scale,
+							})
+						}
 					}
 				}
 			}

@@ -27,6 +27,10 @@ const (
 	TraceIDsHeader = "X-Bp-Trace-Ids"
 )
 
+// DefaultMaxBody caps farm request bodies (result uploads are the big
+// ones: a RegionResult per simulated barrierpoint).
+const DefaultMaxBody = 64 << 20
+
 // Server exposes a Queue over the HTTP/JSON protocol described in the
 // package documentation. It registers its routes with absolute /farm/
 // paths, so cmd/bpserve mounts it directly on its own mux.
@@ -34,6 +38,9 @@ type Server struct {
 	q   *Queue
 	st  *store.Store
 	mux *http.ServeMux
+	// MaxBody caps request bodies, DefaultMaxBody if 0. Oversized requests
+	// are rejected with 413 — explicitly, never by silent truncation.
+	MaxBody int64
 }
 
 // NewServer wraps the queue and its store in an http.Handler.
@@ -63,7 +70,16 @@ func (s *Server) error(w http.ResponseWriter, code int, format string, args ...a
 }
 
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+	limit := s.MaxBody
+	if limit <= 0 {
+		limit = DefaultMaxBody
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit)).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.error(w, http.StatusRequestEntityTooLarge, "request exceeds the %d byte body limit", tooBig.Limit)
+			return false
+		}
 		s.error(w, http.StatusBadRequest, "decoding request: %v", err)
 		return false
 	}
@@ -258,7 +274,15 @@ type Client struct {
 	// response carrying a different epoch means the coordinator restarted
 	// and Lease returns ErrServerRestarted so the caller re-registers.
 	Epoch string
+	// MaxResponse caps a response body read, DefaultMaxResponse if 0. A
+	// larger response is an explicit error, never a silently truncated
+	// (and then misparsed) payload.
+	MaxResponse int64
 }
+
+// DefaultMaxResponse caps farm response bodies read by the client (lease
+// responses carrying a batch of tasks are the big ones).
+const DefaultMaxResponse = 16 << 20
 
 func (c *Client) httpClient() *http.Client {
 	if c.HTTP != nil {
@@ -292,9 +316,18 @@ func (c *Client) postHeaders(path string, req, resp any, headers map[string]stri
 		return err
 	}
 	defer hr.Body.Close()
-	b, err := io.ReadAll(io.LimitReader(hr.Body, 16<<20))
+	limit := c.MaxResponse
+	if limit <= 0 {
+		limit = DefaultMaxResponse
+	}
+	// Read one byte past the cap: exactly-limit responses pass, anything
+	// larger fails loudly instead of being truncated into a JSON error.
+	b, err := io.ReadAll(io.LimitReader(hr.Body, limit+1))
 	if err != nil {
 		return err
+	}
+	if int64(len(b)) > limit {
+		return fmt.Errorf("farm: %s: response exceeds the %d byte limit", path, limit)
 	}
 	if hr.StatusCode/100 != 2 {
 		var e struct {

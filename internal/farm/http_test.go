@@ -1,10 +1,16 @@
 package farm_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
+	bp "barrierpoint"
 	"barrierpoint/internal/farm"
 	"barrierpoint/internal/store"
 )
@@ -109,5 +115,90 @@ func TestHTTPWorkerRoundTrip(t *testing.T) {
 	badKey := "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"
 	if err := c.FetchTrace(wst, badKey); err == nil {
 		t.Fatal("fetch of unknown trace should fail")
+	}
+}
+
+// TestHTTPBodyLimits is the regression test for silent truncation: an
+// oversized result upload is rejected with an explicit 413 (and an error
+// message naming the limit), not truncated into a confusing JSON parse
+// failure; an oversized response body is an explicit client-side error;
+// and payloads under the caps still round-trip.
+func TestHTTPBodyLimits(t *testing.T) {
+	st, key := newTestStore(t)
+	q := farm.NewQueue(st, farm.Config{LeaseTTL: 5 * time.Second})
+	defer q.Close()
+	fsrv := farm.NewServer(q, st)
+	fsrv.MaxBody = 4 << 10
+	srv := httptest.NewServer(fsrv)
+	defer srv.Close()
+
+	if _, err := q.Enqueue(spec(key)); err != nil {
+		t.Fatal(err)
+	}
+	c := &farm.Client{Base: srv.URL}
+	if err := c.Register("limit-test-worker"); err != nil {
+		t.Fatal(err)
+	}
+	tasks, err := c.Lease(1)
+	if err != nil || len(tasks) != 1 {
+		t.Fatalf("lease: %v (%d tasks)", err, len(tasks))
+	}
+	task := tasks[0]
+
+	// A result blown up past the body cap must be rejected explicitly.
+	res := bp.RegionResult{}
+	res.Counters.Instrs = 1
+	big := farm.Client{Base: srv.URL, Worker: c.Worker}
+	padded := struct {
+		Worker  string          `json:"worker"`
+		Task    string          `json:"task"`
+		Result  json.RawMessage `json:"result"`
+		Padding string          `json:"padding"`
+	}{Worker: big.Worker, Task: task.ID, Padding: strings.Repeat("x", 8<<10)}
+	if padded.Result, err = json.Marshal(res); err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(padded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := http.Post(srv.URL+"/farm/result", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(hr.Body)
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized result upload = HTTP %d, want 413\nbody: %s", hr.StatusCode, raw)
+	}
+	if !strings.Contains(string(raw), "4096 byte body limit") {
+		t.Errorf("413 body does not name the limit: %s", raw)
+	}
+	// The task must still be leased (the attempt was not burned).
+	if s := q.Stats(); s.Leased != 1 || s.Retries != 0 {
+		t.Fatalf("queue stats after rejected upload: %+v", s)
+	}
+
+	// A tiny client-side response cap turns a large lease response into an
+	// explicit error instead of a truncated parse.
+	tiny := &farm.Client{Base: srv.URL, Worker: c.Worker, MaxResponse: 8}
+	if _, err := tiny.Lease(1); err == nil || !strings.Contains(err.Error(), "exceeds the 8 byte limit") {
+		t.Fatalf("tiny-cap lease error = %v, want explicit response-limit error", err)
+	}
+
+	// Under the caps, the normal flow still works.
+	wst, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FetchTrace(wst, task.TraceKey); err != nil {
+		t.Fatal(err)
+	}
+	out, err := farm.ExecuteTask(wst, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Complete(task, out); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,175 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"barrierpoint/internal/signature"
+	"barrierpoint/internal/tracefile"
+)
+
+// IngestResult describes one trace upload consumed by IngestTrace.
+type IngestResult struct {
+	Key     string `json:"key"`     // content key of the stored trace
+	Existed bool   `json:"existed"` // the store already held these bytes
+	// Streamed reports the upload was decoded incrementally (version-2
+	// format): per-region profiles were computed and cached while the body
+	// was still transferring, so by the time the caller sees this result a
+	// subsequent analyze pays zero profiling. Version-1 uploads are stored
+	// and validated but not profiled in flight.
+	Streamed bool   `json:"streamed"`
+	Name     string `json:"name"`
+	Threads  int    `json:"threads"`
+	Regions  int    `json:"regions"`
+	// ProfilesCached counts regions whose profile was already in the store
+	// (re-upload of shared content); ProfilesComputed counts profiles this
+	// ingest computed and cached.
+	ProfilesCached   int `json:"profiles_cached"`
+	ProfilesComputed int `json:"profiles_computed"`
+}
+
+// IngestTrace consumes one trace upload: the bytes are hashed and
+// persisted through a durable store.TraceWriter while, concurrently, each
+// region is profiled the moment its last byte arrives and the profile is
+// cached under the region's content digest. On success the trace is
+// committed and every region profile is already in the store — an
+// analyze submitted right after returns with 0 freshly-profiled regions.
+//
+// Failure leaves no partial state: a decode error, a profiling error or a
+// commit error aborts the trace write (the temp file is removed, the key
+// never becomes visible) and removes exactly the profile entries this
+// call created — profiles that pre-existed (shared region content) are
+// untouched, as is everything else in the store.
+//
+// Version-1 uploads carry no inline framing, so they are stored, then
+// validated by reopening the committed file; profiling happens lazily at
+// first analyze instead.
+func (m *Manager) IngestTrace(r io.Reader) (IngestResult, error) {
+	tw, err := m.st.NewTraceWriter()
+	if err != nil {
+		return IngestResult{}, err
+	}
+	var (
+		createdMu sync.Mutex
+		created   []string // digests whose profile entry this ingest created
+	)
+	committed := false
+	defer func() {
+		if committed {
+			return
+		}
+		tw.Abort()
+		// Mirror RemoveTrace cleanup: a failed upload must not orphan
+		// profile artifacts for a trace that was never stored.
+		createdMu.Lock()
+		defer createdMu.Unlock()
+		for _, d := range created {
+			_ = m.st.RemoveProfile(d, signature.CodecVersion)
+		}
+	}()
+
+	var cached, computed atomic.Int64
+	var (
+		errMu   sync.Mutex
+		profErr error
+	)
+	setErr := func(err error) {
+		errMu.Lock()
+		if profErr == nil {
+			profErr = err
+		}
+		errMu.Unlock()
+	}
+	getErr := func() error {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return profErr
+	}
+
+	// Profiling runs on a bounded pool beside the decode; the small channel
+	// buffer gives backpressure, so a fast uploader cannot queue unbounded
+	// decoded regions ahead of the profilers.
+	workers := runtime.GOMAXPROCS(0)
+	work := make(chan tracefile.RegionChunks, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rc := range work {
+				if getErr() != nil {
+					continue
+				}
+				if m.st.HasProfile(rc.Digest, signature.CodecVersion) {
+					cached.Add(1)
+					continue
+				}
+				_, createdNow, err := profileRegion(m.st, rc.Region(), len(rc.Chunks), rc.Digest)
+				if err != nil {
+					setErr(fmt.Errorf("service: profiling region %d during ingest: %w", rc.Index, err))
+					continue
+				}
+				computed.Add(1)
+				if createdNow {
+					createdMu.Lock()
+					created = append(created, rc.Digest)
+					createdMu.Unlock()
+				}
+			}
+		}()
+	}
+
+	info, derr := tracefile.DecodeStream(io.TeeReader(r, tw), func(rc tracefile.RegionChunks) error {
+		if err := getErr(); err != nil {
+			return err // a profiler failed; stop consuming the upload
+		}
+		work <- rc
+		return nil
+	})
+	close(work)
+	wg.Wait()
+	if derr == nil {
+		derr = getErr()
+	}
+	if derr != nil {
+		return IngestResult{}, derr
+	}
+
+	key, existed, err := tw.Commit()
+	if err != nil {
+		return IngestResult{}, err
+	}
+	committed = true
+	res := IngestResult{
+		Key:              key,
+		Existed:          existed,
+		Streamed:         info.Streamed,
+		Name:             info.Name,
+		Threads:          info.Threads,
+		Regions:          info.Regions,
+		ProfilesCached:   int(cached.Load()),
+		ProfilesComputed: int(computed.Load()),
+	}
+	if !info.Streamed {
+		// Legacy v1 bytes were stored unvalidated (no inline framing to
+		// check); reopen the committed file so a corrupt upload is rejected
+		// now, not at first analyze.
+		f, err := m.st.OpenTrace(key)
+		if err != nil {
+			if !existed {
+				_ = m.st.RemoveTrace(key)
+			}
+			return IngestResult{}, fmt.Errorf("%w: uploaded v1 trace does not parse: %v", tracefile.ErrFormat, err)
+		}
+		res.Name, res.Threads, res.Regions = f.Name(), f.Threads(), f.Regions()
+		f.Close()
+	}
+	m.ingestedTraces.Add(1)
+	m.ingestedProfiles.Add(computed.Load())
+	m.profileCacheHits.Add(cached.Load())
+	m.profileComputed.Add(computed.Load())
+	return res, nil
+}

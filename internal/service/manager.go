@@ -50,6 +50,12 @@ type Request struct {
 	// Signature selects the analysis config: "bbv", "reuse_dist" or
 	// "combine" (default).
 	Signature string `json:"signature,omitempty"`
+	// MaxK overrides the clustering's maximum cluster count for analyze and
+	// estimate jobs; 0 keeps the paper default. Re-clustering a profiled
+	// trace with a different MaxK reuses every cached region profile and
+	// pays only k-means (the profile cache is keyed by region content, not
+	// by clustering parameters).
+	MaxK int `json:"max_k,omitempty"`
 	// Sockets sizes the Table I machine for simulate/estimate; 0 derives
 	// it from the trace's thread count.
 	Sockets int `json:"sockets,omitempty"`
@@ -112,6 +118,15 @@ type Stats struct {
 	// promoted regions across all CI-targeted estimate jobs.
 	AdaptiveRounds   int64 `json:"adaptive_rounds"`
 	AdaptivePromoted int64 `json:"adaptive_promoted"`
+	// ProfileCacheHits and ProfileComputed count region profiles served
+	// from the content-addressed profile cache vs. computed (and cached),
+	// across cold analyses and streaming ingests.
+	ProfileCacheHits int64 `json:"profile_cache_hits"`
+	ProfileComputed  int64 `json:"profile_computed"`
+	// IngestedTraces and IngestedProfiles count streaming trace uploads and
+	// the region profiles they stored while bytes were still arriving.
+	IngestedTraces   int64 `json:"ingested_traces"`
+	IngestedProfiles int64 `json:"ingested_profiles"`
 }
 
 // Errors returned by Submit.
@@ -170,6 +185,7 @@ type Manager struct {
 
 	submitted, deduped, done, failed, cacheHits, coldAnalyses, farmed atomic.Int64
 	farmRecovered, adaptiveRounds, adaptivePromoted                   atomic.Int64
+	profileCacheHits, profileComputed, ingestedTraces, ingestedProfiles atomic.Int64
 
 	// Telemetry: reg serves GET /metrics (the atomics above stay the
 	// source of truth, bridged in via CounterFuncs); jobDur and stageDur
@@ -230,6 +246,10 @@ func (m *Manager) registerMetrics() {
 	counter("bp_farm_tasks_recovered_total", "Tasks rebuilt from the farm write-ahead log at startup.", &m.farmRecovered)
 	counter("bp_adaptive_rounds_total", "Adaptive promotion rounds across all CI-targeted estimates.", &m.adaptiveRounds)
 	counter("bp_adaptive_promoted_total", "Regions promoted to detailed simulation by the adaptive sampler.", &m.adaptivePromoted)
+	counter("bp_profile_cache_hits_total", "Region profiles served from the content-addressed profile cache.", &m.profileCacheHits)
+	counter("bp_profile_computed_total", "Region profiles computed (and cached) on profile-cache misses.", &m.profileComputed)
+	counter("bp_ingest_traces_total", "Traces ingested through the streaming upload path.", &m.ingestedTraces)
+	counter("bp_ingest_profiles_total", "Region profiles stored during streaming ingest, while the upload was still transferring.", &m.ingestedProfiles)
 
 	cache := func(name, help string, f func(s bp.ReplayCacheStats) float64, gauge bool) {
 		fn := func() float64 { return f(m.ReplayCacheStats()) }
@@ -319,6 +339,10 @@ func (m *Manager) Stats() Stats {
 		FarmRecovered:    m.farmRecovered.Load(),
 		AdaptiveRounds:   m.adaptiveRounds.Load(),
 		AdaptivePromoted: m.adaptivePromoted.Load(),
+		ProfileCacheHits: m.profileCacheHits.Load(),
+		ProfileComputed:  m.profileComputed.Load(),
+		IngestedTraces:   m.ingestedTraces.Load(),
+		IngestedProfiles: m.ingestedProfiles.Load(),
 	}
 }
 
@@ -332,9 +356,13 @@ func (m *Manager) validate(req Request) (bp.Config, bp.WarmupMode, string, error
 	if !m.st.HasTrace(req.Trace) {
 		return bp.Config{}, 0, "", fmt.Errorf("service: trace %q: %w", req.Trace, store.ErrNotFound)
 	}
-	cfg, err := ParseSignature(req.Signature)
+	cfg, err := ConfigFor(req.Signature, req.MaxK)
 	if err != nil {
 		return bp.Config{}, 0, "", err
+	}
+	if req.MaxK > 0 && req.Kind == KindSimulate {
+		// Ground truth does not cluster; rejecting keeps the dedup key honest.
+		return bp.Config{}, 0, "", fmt.Errorf("service: max_k applies only to analyze and estimate jobs, not %q", req.Kind)
 	}
 	mode, err := ParseWarmup(req.Warmup)
 	if err != nil {
@@ -634,12 +662,13 @@ func (m *Manager) execute(j *job) (json.RawMessage, bool, error) {
 	obsrv := m.stageObserver(j)
 	switch j.req.Kind {
 	case KindAnalyze:
-		sel, cached, err := AnalyzeCachedObserved(m.st, j.req.Trace, j.cfg, m.replay, obsrv)
+		sel, cached, stats, err := AnalyzeCachedProfiled(m.st, j.req.Trace, j.cfg, m.replay, obsrv)
 		if err != nil {
 			return nil, false, err
 		}
 		if !cached {
 			m.coldAnalyses.Add(1)
+			m.recordProfileStats(j, stats)
 		}
 		return json.RawMessage(sel), cached, nil
 
@@ -661,12 +690,13 @@ func (m *Manager) execute(j *job) (json.RawMessage, bool, error) {
 		} else if !errors.Is(err, store.ErrNotFound) {
 			return nil, false, err
 		}
-		selBytes, selCached, err := AnalyzeCachedObserved(m.st, j.req.Trace, j.cfg, m.replay, obsrv)
+		selBytes, selCached, stats, err := AnalyzeCachedProfiled(m.st, j.req.Trace, j.cfg, m.replay, obsrv)
 		if err != nil {
 			return nil, false, err
 		}
 		if !selCached {
 			m.coldAnalyses.Add(1)
+			m.recordProfileStats(j, stats)
 		}
 		bind0 := time.Now()
 		sel, err := bp.LoadSelection(bytes.NewReader(selBytes))
@@ -721,6 +751,16 @@ func (m *Manager) execute(j *job) (json.RawMessage, bool, error) {
 	default:
 		return nil, false, fmt.Errorf("service: unknown job kind %q", j.req.Kind)
 	}
+}
+
+// recordProfileStats attributes a cold analysis's profile-cache activity
+// to the job's span (profiles_cached / profiles_computed, the numbers the
+// CI smoke greps for) and to the manager-wide counters.
+func (m *Manager) recordProfileStats(j *job, stats ProfileStats) {
+	j.span.SetAttr("profiles_cached", fmt.Sprintf("%d", stats.Cached))
+	j.span.SetAttr("profiles_computed", fmt.Sprintf("%d", stats.Computed))
+	m.profileCacheHits.Add(int64(stats.Cached))
+	m.profileComputed.Add(int64(stats.Computed))
 }
 
 // pointRunner picks the execution strategy for a job's barrierpoint

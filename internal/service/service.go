@@ -30,17 +30,48 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	bp "barrierpoint"
 	"barrierpoint/internal/reconstruct"
 	"barrierpoint/internal/store"
+	"barrierpoint/internal/tracefile"
 )
 
 // analyzeFn is the profiling+clustering entry point. It is a variable so
 // tests can prove the cached path never re-profiles: the cache-hit test
-// swaps in a function that fails the test if invoked (bp.AnalyzeObserved
-// is the only caller of profile.Program in this path).
-var analyzeFn = bp.AnalyzeObserved
+// swaps in a function that fails the test if invoked (this is the only
+// route into region profiling here).
+var analyzeFn = analyzeProfiled
+
+// analyzeProfiled is the default analysis path: per-region profiles come
+// from the store's content-addressed profile cache when present (profilesFor
+// computes and caches the misses), then clustering runs over them. With a
+// fully warm profile cache — the normal state right after a streaming
+// upload — the reported stage is "profile-cache" instead of "profile",
+// because no profiling happened: the analysis paid only decode + k-means.
+// Either way the resulting selection is byte-identical to a cold pass
+// (the profile codec round-trips exact float bits).
+func analyzeProfiled(st *store.Store, f *tracefile.File, prog bp.Program, cfg bp.Config, obsrv bp.StageObserver) (*bp.Analysis, ProfileStats, error) {
+	t0 := time.Now()
+	profiles, stats, err := profilesFor(st, f, prog)
+	if err != nil {
+		return nil, stats, err
+	}
+	if obsrv != nil {
+		stage := "profile"
+		if stats.Regions > 0 && stats.Computed == 0 {
+			stage = "profile-cache"
+		}
+		obsrv(stage, time.Since(t0))
+	}
+	t1 := time.Now()
+	a, err := bp.AnalyzeWithProfiles(prog, cfg, profiles)
+	if obsrv != nil {
+		obsrv("cluster", time.Since(t1))
+	}
+	return a, stats, err
+}
 
 // hashJSON is the store-wide artifact config hash (see store.HashJSON).
 func hashJSON(v any) string { return store.HashJSON(v) }
@@ -103,6 +134,24 @@ func ParseSignature(s string) (bp.Config, error) {
 	return cfg, nil
 }
 
+// ConfigFor maps a signature label and an optional MaxK override (0 keeps
+// the paper default) onto an analysis config. MaxK changes only the
+// clustering parameters, so two configs differing in MaxK share every
+// cached region profile and differ only in k-means work and artifacts.
+func ConfigFor(signature string, maxK int) (bp.Config, error) {
+	cfg, err := ParseSignature(signature)
+	if err != nil {
+		return bp.Config{}, err
+	}
+	if maxK < 0 {
+		return bp.Config{}, fmt.Errorf("service: max_k %d out of range (want >= 0)", maxK)
+	}
+	if maxK > 0 {
+		cfg.Cluster.MaxK = maxK
+	}
+	return cfg, nil
+}
+
 // CachedSelection returns the cached selection artifact for the trace and
 // config without computing anything: an error wrapping store.ErrNotFound
 // when the analysis has not run yet.
@@ -139,18 +188,29 @@ func AnalyzeCachedReplay(st *store.Store, key string, cfg bp.Config, rc *bp.Repl
 }
 
 // AnalyzeCachedObserved is AnalyzeCachedReplay with stage telemetry: a
-// cold analysis reports its "profile" and "cluster" stage durations to
-// obsrv. Cache hits and waits on another caller's in-flight computation
-// report nothing — no profiling ran in this call. The observer never
-// influences the computed selection.
+// cold analysis reports its profiling ("profile", or "profile-cache" when
+// every region profile was served from the store) and "cluster" stage
+// durations to obsrv. Cache hits and waits on another caller's in-flight
+// computation report nothing — no profiling ran in this call. The
+// observer never influences the computed selection.
 func AnalyzeCachedObserved(st *store.Store, key string, cfg bp.Config, rc *bp.ReplayCache, obsrv bp.StageObserver) (sel []byte, cached bool, err error) {
+	sel, cached, _, err = AnalyzeCachedProfiled(st, key, cfg, rc, obsrv)
+	return sel, cached, err
+}
+
+// AnalyzeCachedProfiled is AnalyzeCachedObserved, additionally reporting
+// where a cold analysis's region profiles came from. A selection-artifact
+// hit (cached=true) returns zero stats: nothing was profiled or even
+// fetched from the profile cache. A cold run right after a streaming
+// upload reports Computed==0 — every profile was already in the store.
+func AnalyzeCachedProfiled(st *store.Store, key string, cfg bp.Config, rc *bp.ReplayCache, obsrv bp.StageObserver) (sel []byte, cached bool, stats ProfileStats, err error) {
 	name := SelectionArtifact(cfg)
 	flightKey := st.Root() + "|" + key + "|" + name
 	for {
 		if b, err := st.GetArtifact(key, name); err == nil {
-			return b, true, nil
+			return b, true, ProfileStats{}, nil
 		} else if !errors.Is(err, store.ErrNotFound) {
-			return nil, false, err
+			return nil, false, ProfileStats{}, err
 		}
 		analyzeMu.Lock()
 		if ch, ok := analyzeFlights[flightKey]; ok {
@@ -162,34 +222,35 @@ func AnalyzeCachedObserved(st *store.Store, key string, cfg bp.Config, rc *bp.Re
 		analyzeFlights[flightKey] = ch
 		analyzeMu.Unlock()
 
-		sel, err := computeSelection(st, key, cfg, name, rc, obsrv)
+		sel, stats, err := computeSelection(st, key, cfg, name, rc, obsrv)
 		analyzeMu.Lock()
 		delete(analyzeFlights, flightKey)
 		analyzeMu.Unlock()
 		close(ch)
-		return sel, false, err
+		return sel, false, stats, err
 	}
 }
 
-// computeSelection runs the cold path: profile, cluster, serialize, cache.
-func computeSelection(st *store.Store, key string, cfg bp.Config, name string, rc *bp.ReplayCache, obsrv bp.StageObserver) ([]byte, error) {
+// computeSelection runs the cold path: profile (through the per-region
+// profile cache), cluster, serialize, cache.
+func computeSelection(st *store.Store, key string, cfg bp.Config, name string, rc *bp.ReplayCache, obsrv bp.StageObserver) ([]byte, ProfileStats, error) {
 	f, err := st.OpenTrace(key)
 	if err != nil {
-		return nil, err
+		return nil, ProfileStats{}, err
 	}
 	defer f.Close()
-	a, err := analyzeFn(rc.Program(f, key), cfg, obsrv)
+	a, stats, err := analyzeFn(st, f, rc.Program(f, key), cfg, obsrv)
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	var buf bytes.Buffer
 	if err := a.Save(&buf); err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	if err := st.PutArtifact(key, name, buf.Bytes()); err != nil {
-		return nil, err
+		return nil, stats, err
 	}
-	return buf.Bytes(), nil
+	return buf.Bytes(), stats, nil
 }
 
 // EstimateResult is the serialized form of a whole-program estimate, used

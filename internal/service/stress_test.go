@@ -9,6 +9,8 @@ import (
 	"time"
 
 	bp "barrierpoint"
+	"barrierpoint/internal/store"
+	"barrierpoint/internal/tracefile"
 )
 
 // TestSubmitShutdownRace is the manager's concurrency stress test, meant
@@ -31,11 +33,11 @@ func TestSubmitShutdownRace(t *testing.T) {
 	analyzeCalls := map[string]int{}
 	orig := analyzeFn
 	defer func() { analyzeFn = orig }()
-	analyzeFn = func(p bp.Program, cfg bp.Config, obsrv bp.StageObserver) (*bp.Analysis, error) {
+	analyzeFn = func(st *store.Store, f *tracefile.File, p bp.Program, cfg bp.Config, obsrv bp.StageObserver) (*bp.Analysis, ProfileStats, error) {
 		mu.Lock()
 		analyzeCalls[cfg.Signature.Label()]++
 		mu.Unlock()
-		return orig(p, cfg, obsrv)
+		return orig(st, f, p, cfg, obsrv)
 	}
 
 	m := New(st, 4, 256)

@@ -1,0 +1,149 @@
+package signature
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"barrierpoint/internal/bbv"
+	"barrierpoint/internal/ldv"
+	"barrierpoint/internal/sparse"
+)
+
+// CodecVersion names the RegionData wire encoding. It is part of the
+// profile-cache key (store profiles are filed as <region digest>.<codec>),
+// so bumping it on any incompatible change below automatically invalidates
+// every cached profile instead of mis-decoding it.
+const CodecVersion = "rd1"
+
+// codecMagic leads every encoded RegionData so a foreign blob fails fast.
+const codecMagic = "bprd1\n"
+
+// EncodeRegionData serializes rd for the store's per-region profile cache.
+// Floats are stored as their exact IEEE-754 bits, never formatted, so a
+// decoded profile is bit-identical to the freshly computed one — the
+// property that lets cached-profile analyses promise byte-identical
+// selections and estimates.
+//
+// RegionData is deliberately signature-variant-independent (Options — kind,
+// LDV weighting, thread aggregation — are applied later by Build), so one
+// encoded profile per region content serves every signature variant and
+// every clustering configuration.
+func EncodeRegionData(rd *RegionData) []byte {
+	threads := len(rd.BBV)
+	n := len(codecMagic) + 2*binary.MaxVarintLen64
+	for t := 0; t < threads; t++ {
+		n += 2*binary.MaxVarintLen64 + len(rd.BBV[t])*(binary.MaxVarintLen64+8) + (ldv.NumBuckets+1)*8
+	}
+	buf := make([]byte, 0, n)
+	buf = append(buf, codecMagic...)
+	buf = binary.AppendUvarint(buf, uint64(threads))
+	buf = binary.AppendUvarint(buf, rd.TotalInstrs)
+	for t := 0; t < threads; t++ {
+		buf = binary.AppendUvarint(buf, rd.ThreadInstrs[t])
+		v := rd.BBV[t]
+		buf = binary.AppendUvarint(buf, uint64(len(v)))
+		for _, e := range v {
+			buf = binary.AppendUvarint(buf, e.Key)
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Val))
+		}
+		h := &rd.LDV[t]
+		for _, w := range h.Buckets {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(w))
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(h.Cold))
+	}
+	return buf
+}
+
+// DecodeRegionData parses an EncodeRegionData blob. Any structural damage —
+// wrong magic, truncation, trailing bytes, out-of-order BBV keys — is an
+// error; callers treat a failed decode as a cache miss and recompute.
+func DecodeRegionData(data []byte) (*RegionData, error) {
+	d := codecDecoder{buf: data}
+	if len(data) < len(codecMagic) || string(data[:len(codecMagic)]) != codecMagic {
+		return nil, fmt.Errorf("signature: not an encoded region profile")
+	}
+	d.pos = len(codecMagic)
+	threads, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if threads == 0 || threads > 1<<20 {
+		return nil, fmt.Errorf("signature: corrupt profile: %d threads", threads)
+	}
+	rd := &RegionData{
+		BBV:          make([]bbv.Vector, threads),
+		LDV:          make([]ldv.Histogram, threads),
+		ThreadInstrs: make([]uint64, threads),
+	}
+	if rd.TotalInstrs, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	for t := uint64(0); t < threads; t++ {
+		if rd.ThreadInstrs[t], err = d.uvarint(); err != nil {
+			return nil, err
+		}
+		nv, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nv > uint64(len(data)) { // each entry takes ≥ 9 bytes
+			return nil, fmt.Errorf("signature: corrupt profile: BBV declares %d entries", nv)
+		}
+		v := make(bbv.Vector, nv)
+		var prev uint64
+		for i := range v {
+			k, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if i > 0 && k <= prev {
+				return nil, fmt.Errorf("signature: corrupt profile: BBV keys out of order")
+			}
+			prev = k
+			val, err := d.float()
+			if err != nil {
+				return nil, err
+			}
+			v[i] = sparse.Entry{Key: k, Val: val}
+		}
+		rd.BBV[t] = v
+		h := &rd.LDV[t]
+		for i := range h.Buckets {
+			if h.Buckets[i], err = d.float(); err != nil {
+				return nil, err
+			}
+		}
+		if h.Cold, err = d.float(); err != nil {
+			return nil, err
+		}
+	}
+	if d.pos != len(data) {
+		return nil, fmt.Errorf("signature: corrupt profile: %d trailing bytes", len(data)-d.pos)
+	}
+	return rd, nil
+}
+
+type codecDecoder struct {
+	buf []byte
+	pos int
+}
+
+func (d *codecDecoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("signature: corrupt profile: truncated varint")
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *codecDecoder) float() (float64, error) {
+	if d.pos+8 > len(d.buf) {
+		return 0, fmt.Errorf("signature: corrupt profile: truncated float")
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.pos:]))
+	d.pos += 8
+	return v, nil
+}

@@ -1,0 +1,87 @@
+package signature
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"barrierpoint/internal/bbv"
+	"barrierpoint/internal/ldv"
+	"barrierpoint/internal/sparse"
+)
+
+func sampleRegionData() *RegionData {
+	rd := &RegionData{
+		BBV: []bbv.Vector{
+			{{Key: 3, Val: 17.5}, {Key: 9, Val: 0.25}, {Key: 1 << 40, Val: 1e-17}},
+			nil, // idle thread
+		},
+		LDV:          make([]ldv.Histogram, 2),
+		ThreadInstrs: []uint64{12345, 0},
+		TotalInstrs:  12345,
+	}
+	rd.LDV[0].Buckets[0] = 0.1
+	rd.LDV[0].Buckets[ldv.NumBuckets-1] = 1.0 / 3.0 // not exactly representable in decimal
+	rd.LDV[0].Cold = 42
+	return rd
+}
+
+func TestRegionDataRoundTrip(t *testing.T) {
+	rd := sampleRegionData()
+	got, err := DecodeRegionData(EncodeRegionData(rd))
+	if err != nil {
+		t.Fatalf("DecodeRegionData: %v", err)
+	}
+	// nil and empty BBV are equivalent; normalize for comparison.
+	if len(got.BBV[1]) == 0 {
+		got.BBV[1] = nil
+	}
+	if !reflect.DeepEqual(got, rd) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, rd)
+	}
+	// The decoded profile must build bit-identical signatures.
+	for _, o := range []Options{{Kind: Combined}, {Kind: BBVOnly}, {Kind: LDVOnly}, {Kind: Combined, LDVWeightV: 2}, {Kind: Combined, SumThreads: true}} {
+		a, b := Build(rd, o), Build(got, o)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("options %v: signature from decoded profile differs", o)
+		}
+	}
+}
+
+func TestRegionDataExactFloatBits(t *testing.T) {
+	rd := sampleRegionData()
+	// Values chosen to break any formatting-based codec.
+	rd.BBV[0][0].Val = math.Nextafter(1, 2)
+	rd.LDV[0].Buckets[7] = math.SmallestNonzeroFloat64
+	got, err := DecodeRegionData(EncodeRegionData(rd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got.BBV[0][0].Val) != math.Float64bits(rd.BBV[0][0].Val) {
+		t.Fatal("BBV value bits changed in round trip")
+	}
+	if math.Float64bits(got.LDV[0].Buckets[7]) != math.Float64bits(rd.LDV[0].Buckets[7]) {
+		t.Fatal("LDV bucket bits changed in round trip")
+	}
+}
+
+func TestDecodeRegionDataRejectsCorrupt(t *testing.T) {
+	good := EncodeRegionData(sampleRegionData())
+	cases := map[string][]byte{
+		"empty":      nil,
+		"bad-magic":  append([]byte("xxxxx\n"), good[6:]...),
+		"truncated":  good[:len(good)-3],
+		"trailing":   append(append([]byte(nil), good...), 0),
+		"not-a-blob": []byte("bprd1\nhello"),
+	}
+	// Out-of-order BBV keys: swap the first two entries of thread 0.
+	reordered := sampleRegionData()
+	reordered.BBV[0][0], reordered.BBV[0][1] = sparse.Entry{Key: 9, Val: 1}, sparse.Entry{Key: 3, Val: 2}
+	cases["unsorted-bbv"] = EncodeRegionData(reordered)
+
+	for name, data := range cases {
+		if _, err := DecodeRegionData(data); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+		}
+	}
+}

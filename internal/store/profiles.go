@@ -1,0 +1,115 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+)
+
+// Per-region profile cache.
+//
+// Profiles live at <root>/profiles/<digest>.<codec>: digest is the
+// region's content digest (tracefile.File.RegionDigest — a hash of the
+// region's encoded chunk payloads, independent of which trace file carries
+// them) and codec is the blob's encoding version (signature.CodecVersion).
+// The profile itself (per-thread BBV + LDV + instruction counts) is
+// signature-variant-independent, so this one entry serves every signature
+// kind, LDV weighting, thread aggregation, and every clustering K or
+// scale: any analysis of any trace containing the region reuses it and
+// pays only clustering.
+
+var codecRe = regexp.MustCompile(`^[a-z0-9]{1,16}$`)
+
+func (s *Store) checkProfile(digest, codec string) error {
+	if !keyRe.MatchString(digest) {
+		return fmt.Errorf("store: malformed region digest %q", digest)
+	}
+	if !codecRe.MatchString(codec) {
+		return fmt.Errorf("store: malformed profile codec %q", codec)
+	}
+	return nil
+}
+
+func (s *Store) profilePath(digest, codec string) string {
+	return filepath.Join(s.root, "profiles", digest+"."+codec)
+}
+
+// PutProfile stores a region profile under (digest, codec). Profiles are
+// content-addressed, so if the entry already exists the write is skipped
+// and existed is true — concurrent ingests of overlapping traces simply
+// race to be first. The write is durable (fsync around the rename), like
+// every other store write.
+func (s *Store) PutProfile(digest, codec string, data []byte) (existed bool, err error) {
+	if err := s.checkProfile(digest, codec); err != nil {
+		return false, err
+	}
+	p := s.profilePath(digest, codec)
+	if _, err := os.Stat(p); err == nil {
+		return true, nil
+	}
+	if err := writeDurable(filepath.Join(s.root, "profiles"), digest+"."+codec, data); err != nil {
+		return false, err
+	}
+	return false, nil
+}
+
+// GetProfile returns the profile stored under (digest, codec), or an error
+// wrapping ErrNotFound. Callers treat any subsequent decode failure as a
+// miss and recompute; the store does not interpret the blob.
+func (s *Store) GetProfile(digest, codec string) ([]byte, error) {
+	if err := s.checkProfile(digest, codec); err != nil {
+		return nil, err
+	}
+	b, err := os.ReadFile(s.profilePath(digest, codec))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: profile %s.%s: %w", digest, codec, ErrNotFound)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return b, nil
+}
+
+// HasProfile reports whether a profile is stored under (digest, codec).
+func (s *Store) HasProfile(digest, codec string) bool {
+	if s.checkProfile(digest, codec) != nil {
+		return false
+	}
+	_, err := os.Stat(s.profilePath(digest, codec))
+	return err == nil
+}
+
+// RemoveProfile deletes one cached profile. Removing a profile that does
+// not exist is not an error.
+func (s *Store) RemoveProfile(digest, codec string) error {
+	if err := s.checkProfile(digest, codec); err != nil {
+		return err
+	}
+	if err := os.Remove(s.profilePath(digest, codec)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Profiles lists the stored (digest, codec) pairs as "digest.codec" names,
+// sorted. An empty cache yields an empty list, not an error.
+func (s *Store) Profiles() ([]string, error) {
+	ents, err := os.ReadDir(filepath.Join(s.root, "profiles"))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if len(name) > KeyLen+1 && name[KeyLen] == '.' && keyRe.MatchString(name[:KeyLen]) && codecRe.MatchString(name[KeyLen+1:]) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -11,6 +11,7 @@
 //
 //	<root>/traces/<key>.bptrace        recorded traces, named by content
 //	<root>/artifacts/<key>/<name>      derived artifacts for that trace
+//	<root>/profiles/<digest>.<codec>   per-region profiles, named by region content
 //
 // The key of a trace is the lowercase hex SHA-256 of its file bytes, so a
 // byte-identical trace uploaded twice — or recorded independently on two
@@ -19,10 +20,21 @@
 // estimate and ground-truth artifacts keyed by analysis config, machine
 // config and warmup mode).
 //
+// Per-region profiles are addressed not by trace but by the region's own
+// content digest (tracefile.File.RegionDigest) plus the encoding version
+// (signature.CodecVersion), so they are shared by every trace containing
+// that region and by every clustering configuration — re-clustering with a
+// different K or signature variant reuses all of them and pays only
+// k-means (see internal/service).
+//
 // All writes go through a temp file in the destination directory followed
 // by an atomic rename, so concurrent writers (several jobs, or a CLI racing
 // a server on the same store) can only ever observe absent or complete
-// entries, never torn ones.
+// entries, never torn ones. Writes additionally fsync the temp file before
+// the rename and the directory after it, so an entry whose write has been
+// acknowledged (an upload's 201, a WAL-logged artifact) survives a crash —
+// a half-written temp file from a crashed writer is invisible to readers
+// and swept on the next Open.
 package store
 
 import (
@@ -37,6 +49,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 
 	"barrierpoint/internal/tracefile"
 )
@@ -109,14 +122,61 @@ type Store struct {
 	root string
 }
 
-// Open opens (creating if needed) the store rooted at dir.
+// Open opens (creating if needed) the store rooted at dir. Stale temp
+// files left behind by crashed writers are swept from the content
+// directories; they are invisible to readers either way (nothing lists or
+// opens `.put-*` names), so the sweep only reclaims disk.
 func Open(dir string) (*Store, error) {
-	for _, d := range []string{dir, filepath.Join(dir, "traces"), filepath.Join(dir, "artifacts")} {
+	for _, d := range []string{dir, filepath.Join(dir, "traces"), filepath.Join(dir, "artifacts"), filepath.Join(dir, "profiles")} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
 	}
-	return &Store{root: dir}, nil
+	s := &Store{root: dir}
+	s.sweepTemps()
+	return s, nil
+}
+
+// tempMaxAge is how old a `.put-*` temp file must be before sweepTemps
+// reclaims it. The grace period keeps a concurrent live writer (another
+// process mid-PutTrace on the same store) safe from the sweep.
+const tempMaxAge = time.Hour
+
+// sweepTemps removes orphaned write temps older than tempMaxAge from the
+// traces and profiles directories. Errors are deliberately ignored: the
+// sweep is best-effort hygiene, and a failure (permissions, races with
+// another sweeper) must not block opening the store.
+func (s *Store) sweepTemps() {
+	cutoff := time.Now().Add(-tempMaxAge)
+	for _, d := range []string{"traces", "profiles"} {
+		ents, err := os.ReadDir(filepath.Join(s.root, d))
+		if err != nil {
+			continue
+		}
+		for _, e := range ents {
+			if !strings.HasPrefix(e.Name(), ".put-") {
+				continue
+			}
+			if info, err := e.Info(); err == nil && info.ModTime().Before(cutoff) {
+				os.Remove(filepath.Join(s.root, d, e.Name()))
+			}
+		}
+	}
+}
+
+// syncDir fsyncs a directory, making a just-renamed entry durable. An
+// unsupported-operation error (some filesystems reject directory fsync) is
+// ignored; any other failure is reported.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, errors.ErrUnsupported) {
+		return err
+	}
+	return nil
 }
 
 // Root returns the store's root directory.
@@ -130,43 +190,117 @@ func (s *Store) artifactDir(key string) string {
 	return filepath.Join(s.root, "artifacts", key)
 }
 
+// TraceWriter accumulates one trace into the store: bytes stream into a
+// temp file while being hashed, and Commit atomically publishes them under
+// the content key. It exists so an ingest pipeline can tee an upload into
+// the store while simultaneously decoding it (see service.IngestTrace):
+// the caller owns the copy loop instead of handing PutTrace a reader.
+// A TraceWriter is single-use and not safe for concurrent Writes.
+type TraceWriter struct {
+	tmp *os.File
+	dir string
+	h   io.Writer
+	sum func() string
+}
+
+// NewTraceWriter starts a trace write. Exactly one of Commit or Abort must
+// eventually be called.
+func (s *Store) NewTraceWriter() (*TraceWriter, error) {
+	dir := filepath.Join(s.root, "traces")
+	tmp, err := os.CreateTemp(dir, ".put-*")
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	h := sha256.New()
+	return &TraceWriter{
+		tmp: tmp,
+		dir: dir,
+		h:   h,
+		sum: func() string { return hex.EncodeToString(h.Sum(nil)) },
+	}, nil
+}
+
+// Write implements io.Writer.
+func (w *TraceWriter) Write(p []byte) (int, error) {
+	if w.tmp == nil {
+		return 0, fmt.Errorf("store: write after Commit/Abort")
+	}
+	n, err := w.tmp.Write(p)
+	w.h.Write(p[:n])
+	if err != nil {
+		return n, fmt.Errorf("store: writing trace: %w", err)
+	}
+	return n, nil
+}
+
+// Commit publishes the written bytes under their content key, which it
+// returns. If a byte-identical trace is already stored the temp copy is
+// discarded and existed is true. The temp file is fsynced before the
+// rename and the traces directory after it, so a trace whose Commit has
+// returned survives a crash; a crash before Commit leaves only an
+// invisible temp file. On error the temp file is cleaned up (no Abort
+// needed).
+func (w *TraceWriter) Commit() (key string, existed bool, err error) {
+	if w.tmp == nil {
+		return "", false, fmt.Errorf("store: Commit after Commit/Abort")
+	}
+	tmp := w.tmp
+	w.tmp = nil
+	fail := func(err error) (string, bool, error) {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", false, err
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(fmt.Errorf("store: syncing trace: %w", err))
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", false, fmt.Errorf("store: %w", err)
+	}
+	key = w.sum()
+	dst := filepath.Join(w.dir, key+".bptrace")
+	if _, err := os.Stat(dst); err == nil {
+		os.Remove(tmp.Name())
+		return key, true, nil
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return "", false, fmt.Errorf("store: %w", err)
+	}
+	if err := syncDir(w.dir); err != nil {
+		// The rename happened; the entry is visible but not yet known
+		// durable. Report the failure rather than pretend durability.
+		return "", false, fmt.Errorf("store: syncing traces dir: %w", err)
+	}
+	return key, false, nil
+}
+
+// Abort discards the written bytes. Safe to call after Commit (a no-op).
+func (w *TraceWriter) Abort() {
+	if w.tmp == nil {
+		return
+	}
+	w.tmp.Close()
+	os.Remove(w.tmp.Name())
+	w.tmp = nil
+}
+
 // PutTrace stores the trace read from r under its content key, which it
 // returns. If a byte-identical trace is already stored, the new copy is
 // discarded and existed is true. PutTrace does not validate the trace
 // format; callers that accept untrusted bytes should OpenTrace the key
 // afterwards and RemoveTrace on failure.
 func (s *Store) PutTrace(r io.Reader) (key string, existed bool, err error) {
-	tmp, err := os.CreateTemp(filepath.Join(s.root, "traces"), ".put-*")
+	w, err := s.NewTraceWriter()
 	if err != nil {
-		return "", false, fmt.Errorf("store: %w", err)
+		return "", false, err
 	}
-	defer func() {
-		if tmp != nil {
-			tmp.Close()
-			os.Remove(tmp.Name())
-		}
-	}()
-	h := sha256.New()
-	if _, err := io.Copy(io.MultiWriter(tmp, h), r); err != nil {
-		return "", false, fmt.Errorf("store: writing trace: %w", err)
+	if _, err := io.Copy(w, r); err != nil {
+		w.Abort()
+		return "", false, err
 	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		tmp = nil
-		return "", false, fmt.Errorf("store: %w", err)
-	}
-	key = hex.EncodeToString(h.Sum(nil))
-	dst := s.tracePath(key)
-	if _, err := os.Stat(dst); err == nil {
-		os.Remove(tmp.Name())
-		tmp = nil
-		return key, true, nil
-	}
-	if err := os.Rename(tmp.Name(), dst); err != nil {
-		return "", false, fmt.Errorf("store: %w", err)
-	}
-	tmp = nil
-	return key, false, nil
+	return w.Commit()
 }
 
 // ImportTrace stores the trace file at path under its content key.
@@ -277,24 +411,24 @@ func (s *Store) HasArtifact(key, name string) bool {
 	return err == nil
 }
 
-// PutArtifact atomically stores the named artifact for the trace,
-// overwriting any previous value.
-func (s *Store) PutArtifact(key, name string, data []byte) error {
-	if err := s.checkArtifact(key, name); err != nil {
-		return err
-	}
-	dir := s.artifactDir(key)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
+// writeDurable writes data to dir/name via temp-write, fsync, atomic
+// rename, directory fsync. It is the one write path behind artifacts,
+// campaign manifests and profiles.
+func writeDurable(dir, name string, data []byte) error {
 	tmp, err := os.CreateTemp(dir, ".put-*")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	if _, err := tmp.Write(data); err != nil {
+	fail := func(err error) error {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return fmt.Errorf("store: writing artifact: %w", err)
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail(fmt.Errorf("store: writing %s: %w", name, err))
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(fmt.Errorf("store: syncing %s: %w", name, err))
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
@@ -304,7 +438,24 @@ func (s *Store) PutArtifact(key, name string, data []byte) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("store: %w", err)
 	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("store: syncing %s: %w", dir, err)
+	}
 	return nil
+}
+
+// PutArtifact atomically stores the named artifact for the trace,
+// overwriting any previous value. The write is durable: temp file and
+// directory are fsynced around the rename.
+func (s *Store) PutArtifact(key, name string, data []byte) error {
+	if err := s.checkArtifact(key, name); err != nil {
+		return err
+	}
+	dir := s.artifactDir(key)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return writeDurable(dir, name, data)
 }
 
 // Campaign manifests (internal/campaign) are small JSON progress records
@@ -334,7 +485,8 @@ func (s *Store) GetCampaign(name string) ([]byte, error) {
 }
 
 // PutCampaign atomically stores the named campaign manifest, overwriting
-// any previous value.
+// any previous value. The write is durable: temp file and directory are
+// fsynced around the rename.
 func (s *Store) PutCampaign(name string, data []byte) error {
 	if !artifactRe.MatchString(name) {
 		return fmt.Errorf("store: malformed campaign name %q", name)
@@ -343,24 +495,7 @@ func (s *Store) PutCampaign(name string, data []byte) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	tmp, err := os.CreateTemp(dir, ".put-*")
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("store: writing campaign: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), s.campaignPath(name)); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("store: %w", err)
-	}
-	return nil
+	return writeDurable(dir, name, data)
 }
 
 // Campaigns lists the saved campaign manifest names, sorted. A store with

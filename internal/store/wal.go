@@ -285,11 +285,3 @@ func (w *WAL) Close() error {
 	return err
 }
 
-// syncDir fsyncs a directory so a just-renamed file's directory entry is
-// durable; best-effort, as not every filesystem supports it.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
-	}
-}

@@ -6,28 +6,43 @@
 // chunks are independently addressable and os.File supports concurrent
 // ReadAt.
 //
-// # File layout (version 1)
+// # File layout (version 2, the default)
 //
 //	+--------------------------------------------------------------+
-//	| magic "BPTRACE1" (8 bytes)                                    |
+//	| magic "BPTRACE2" (8 bytes)                                    |
 //	+--------------------------------------------------------------+
-//	| chunk[region 0][thread 0]                                     |
-//	| chunk[region 0][thread 1]                                     |
+//	| streaming header: nameLen, name, threads, regions, flags      |
+//	+--------------------------------------------------------------+
+//	| len | chunk[region 0][thread 0]                               |
+//	| len | chunk[region 0][thread 1]                               |
 //	| ...                                                           |
-//	| chunk[region R-1][thread T-1]                                 |
+//	| len | chunk[region R-1][thread T-1]                           |
 //	+--------------------------------------------------------------+
 //	| footer (see below)                                            |
 //	+--------------------------------------------------------------+
 //	| footer offset (uint64 little-endian, 8 bytes)                 |
-//	| trailer magic "BPTIDX1\n" (8 bytes)                           |
+//	| trailer magic "BPTIDX2\n" (8 bytes)                           |
 //	+--------------------------------------------------------------+
 //
 // Chunks are laid out region-major: all T thread streams of region 0, then
-// region 1, and so on. A reader seeks to the end, validates the trailer
-// magic, reads the footer offset, and parses the footer — the trailing
-// index — to learn the chunk boundaries. Appending the index instead of
-// prepending it lets Record work on a pure io.Writer in one pass, without
-// buffering the whole program or seeking.
+// region 1, and so on. Version 2 duplicates the footer metadata in a
+// streaming header right after the magic and prefixes every chunk with its
+// uvarint byte length, so a consumer reading from a pipe or network body
+// (DecodeStream) knows each region's extent the moment its bytes arrive —
+// no seeking, no waiting for the trailer. The trailing footer remains the
+// random-access index: Open seeks to the end, validates the trailer magic,
+// reads the footer offset and parses the footer to learn the chunk
+// boundaries, exactly as in version 1. Appending the index lets Record
+// work on a pure io.Writer in one pass, without buffering the whole
+// program; DecodeStream cross-checks the footer against the streaming
+// header and the inline lengths, so a truncated or spliced stream is
+// rejected, not silently accepted.
+//
+// Version 1 ("BPTRACE1"/"BPTIDX1\n") is the same layout minus the
+// streaming header and the inline length prefixes. It remains fully
+// readable — Open handles both — and Record(WithVersion(1)) still writes
+// it; it just cannot be decoded incrementally, so a v1 upload is stored
+// first and profiled later.
 //
 // # Footer
 //
@@ -79,6 +94,18 @@
 // Note the gzip flag changes the bytes, so a compressed and an uncompressed
 // recording of one program are distinct store entries by design.
 //
+// Regions are content-addressed too: RegionDigest (and the Digest field of
+// DecodeStream's RegionChunks) is a SHA-256 over the region's chunk
+// payloads plus the parameters that determine how they decode (gzip flag,
+// thread count). The digest is deliberately independent of the container —
+// a v1 and a v2 recording of the same program agree region by region, and
+// DecodeStream computes it incrementally while Open computes it by random
+// access, to the same value. internal/service keys per-region BBV+LDV
+// profiles by (region digest, signature codec version), which is what lets
+// a streaming upload profile regions mid-transfer and lets re-clustering
+// with different knobs (max K, scale, signature variant) reuse every
+// cached profile and pay only k-means.
+//
 // # Replay caching
 //
 // Replay is a cold decode by default: every Region/Thread call re-reads,
@@ -96,8 +123,11 @@
 //
 // # Versioning
 //
-// The format version lives in the leading magic ("BPTRACE1") and the
-// trailer magic ("BPTIDX1\n"). Incompatible revisions bump the digit in
-// both; Open rejects files whose magics it does not recognize, and the
-// flags byte leaves room for backward-compatible feature bits.
+// The format version lives in the leading magic ("BPTRACE1", "BPTRACE2")
+// and the trailer magic ("BPTIDX1\n", "BPTIDX2\n"). Incompatible revisions
+// bump the digit in both; Open rejects files whose magics it does not
+// recognize, and the flags byte leaves room for backward-compatible
+// feature bits. Decode failures caused by the input bytes (rather than the
+// source reader) are tagged with ErrFormat, so transport layers can tell
+// "you sent garbage" from "the connection broke".
 package tracefile

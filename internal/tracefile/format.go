@@ -9,12 +9,17 @@ import (
 	"barrierpoint/internal/trace"
 )
 
-// File format constants; see doc.go for the layout.
+// File format constants; see doc.go for the layout. Version 2 adds a
+// streaming header after the magic and an inline uvarint length prefix
+// before every chunk, so consumers can decode region-by-region as bytes
+// arrive; version 1 remains fully readable.
 const (
-	magic        = "BPTRACE1"
-	trailerMagic = "BPTIDX1\n"
-	magicLen     = 8
-	tailLen      = 16 // uint64 footer offset + trailer magic
+	magicV1        = "BPTRACE1"
+	trailerMagicV1 = "BPTIDX1\n"
+	magicV2        = "BPTRACE2"
+	trailerMagicV2 = "BPTIDX2\n"
+	magicLen       = 8
+	tailLen        = 16 // uint64 footer offset + trailer magic
 
 	flagGzip = 1 << 0
 

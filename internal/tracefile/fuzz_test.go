@@ -35,6 +35,8 @@ func fuzzSeeds(tb testing.TB) [][]byte {
 	}
 	rec(handBuilt())
 	rec(handBuilt(), WithGzip(true))
+	rec(handBuilt(), WithVersion(1))
+	rec(handBuilt(), WithGzip(true), WithVersion(1))
 	rec(workload.New("npb-is", 8, workload.WithScale(0.01)))
 	return seeds
 }
@@ -125,6 +127,31 @@ func FuzzReplay(f *testing.F) {
 	})
 }
 
+// FuzzDecodeStream covers the incremental path: hostile bytes fed to the
+// streaming decoder must error out (or drain, for v1 magic), never panic
+// or allocate unboundedly, and any region it does deliver must replay
+// without panicking.
+func FuzzDecodeStream(f *testing.F) {
+	for _, s := range allSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var be trace.BlockExec
+		_, _ = DecodeStream(bytes.NewReader(data), func(rc RegionChunks) error {
+			region := rc.Region()
+			for tid := range rc.Chunks {
+				s := region.Thread(tid)
+				for s.Next(&be) {
+					if len(be.Accs) > maxAccs {
+						t.Fatalf("region %d thread %d: block with %d accesses escaped the cap", rc.Index, tid, len(be.Accs))
+					}
+				}
+			}
+			return nil
+		})
+	})
+}
+
 var updateCorpus = flag.Bool("update-corpus", false, "rewrite the committed fuzz seed corpus under testdata/fuzz")
 
 // TestUpdateFuzzCorpus regenerates the committed seed corpus (in the Go
@@ -140,10 +167,10 @@ func TestUpdateFuzzCorpus(t *testing.T) {
 	// f.Add the full variant set in-memory anyway).
 	seeds := fuzzSeeds(t)
 	lean := append([][]byte(nil), seeds...)
-	for _, s := range seeds[:2] {
+	for _, s := range seeds[:4] {
 		lean = append(lean, corrupt(s)...)
 	}
-	for _, target := range []string{"FuzzOpen", "FuzzReplay"} {
+	for _, target := range []string{"FuzzOpen", "FuzzReplay", "FuzzDecodeStream"} {
 		dir := filepath.Join("testdata", "fuzz", target)
 		if err := os.RemoveAll(dir); err != nil {
 			t.Fatal(err)

@@ -21,12 +21,14 @@ type File struct {
 	ra      io.ReaderAt
 	closer  io.Closer
 	name    string
+	version int
 	threads int
 	regions int
 	gzip    bool
-	// offs holds regions*threads+1 prefix-summed chunk offsets; chunk i
-	// occupies [offs[i], offs[i+1]).
-	offs []int64
+	// off and end bound chunk i's payload: [off[i], end[i]). In version 1
+	// chunks abut; in version 2 each payload is preceded by its inline
+	// uvarint length prefix, so off[i] > end[i-1].
+	off, end []int64
 }
 
 // Open opens the trace file at path for replay.
@@ -50,8 +52,9 @@ func Open(path string) (*File, error) {
 }
 
 // NewReader opens a trace stored in an arbitrary io.ReaderAt of the given
-// total size (a memory buffer, an mmap, a remote object). The caller keeps
-// ownership of ra; Close on the returned File is a no-op.
+// total size (a memory buffer, an mmap, a remote object). Both format
+// versions are accepted. The caller keeps ownership of ra; Close on the
+// returned File is a no-op.
 func NewReader(ra io.ReaderAt, size int64) (*File, error) {
 	if size < magicLen+tailLen {
 		return nil, fmt.Errorf("tracefile: file too short (%d bytes)", size)
@@ -60,14 +63,24 @@ func NewReader(ra io.ReaderAt, size int64) (*File, error) {
 	if _, err := ra.ReadAt(head, 0); err != nil {
 		return nil, fmt.Errorf("tracefile: reading header: %w", err)
 	}
-	if string(head) != magic {
+	var version int
+	switch string(head) {
+	case magicV1:
+		version = 1
+	case magicV2:
+		version = 2
+	default:
 		return nil, fmt.Errorf("tracefile: bad magic %q (not a trace file, or unsupported version)", head)
 	}
 	tail := make([]byte, tailLen)
 	if _, err := ra.ReadAt(tail, size-tailLen); err != nil {
 		return nil, fmt.Errorf("tracefile: reading trailer: %w", err)
 	}
-	if string(tail[8:]) != trailerMagic {
+	wantTrailer := trailerMagicV1
+	if version == 2 {
+		wantTrailer = trailerMagicV2
+	}
+	if string(tail[8:]) != wantTrailer {
 		return nil, fmt.Errorf("tracefile: bad trailer magic %q (truncated file?)", tail[8:])
 	}
 	footerOff := int64(binary.LittleEndian.Uint64(tail[:8]))
@@ -80,54 +93,128 @@ func NewReader(ra io.ReaderAt, size int64) (*File, error) {
 		return nil, fmt.Errorf("tracefile: reading footer: %w", err)
 	}
 	fr := bytes.NewReader(footer)
-	nameLen, err := binary.ReadUvarint(fr)
-	if err != nil || nameLen > uint64(len(footer)) {
-		return nil, fmt.Errorf("tracefile: corrupt footer: bad name length")
-	}
-	name := make([]byte, nameLen)
-	if _, err := io.ReadFull(fr, name); err != nil {
-		return nil, fmt.Errorf("tracefile: corrupt footer: %w", err)
-	}
-	threads, err := binary.ReadUvarint(fr)
-	if err != nil || threads == 0 || threads > 1<<20 {
-		return nil, fmt.Errorf("tracefile: corrupt footer: bad thread count")
-	}
-	regions, err := binary.ReadUvarint(fr)
-	if err != nil || regions > 1<<40 {
-		return nil, fmt.Errorf("tracefile: corrupt footer: bad region count")
-	}
-	flags, err := fr.ReadByte()
+	name, threads, regions, flags, err := parseMeta(fr, len(footer))
 	if err != nil {
-		return nil, fmt.Errorf("tracefile: corrupt footer: %w", err)
+		return nil, err
 	}
 
 	nchunks := regions * threads
 	if nchunks > uint64(len(footer)) { // each length takes >= 1 footer byte
 		return nil, fmt.Errorf("tracefile: corrupt footer: %d chunks exceed footer size", nchunks)
 	}
-	offs := make([]int64, nchunks+1)
-	offs[0] = magicLen
+	off := make([]int64, nchunks)
+	end := make([]int64, nchunks)
+	pos := int64(magicLen)
+	if version == 2 {
+		pos += int64(metaLen(name, threads, regions))
+	}
 	for i := uint64(0); i < nchunks; i++ {
 		n, err := binary.ReadUvarint(fr)
 		if err != nil {
 			return nil, fmt.Errorf("tracefile: corrupt footer: chunk %d length: %w", i, err)
 		}
-		offs[i+1] = offs[i] + int64(n)
-		if offs[i+1] < offs[i] || offs[i+1] > footerOff {
+		if version == 2 {
+			pos += int64(uvarintLen(n))
+		}
+		off[i] = pos
+		end[i] = pos + int64(n)
+		if end[i] < off[i] || end[i] > footerOff {
 			return nil, fmt.Errorf("tracefile: corrupt footer: chunk %d overruns footer", i)
 		}
+		pos = end[i]
 	}
-	if offs[nchunks] != footerOff {
-		return nil, fmt.Errorf("tracefile: corrupt footer: chunks end at %d, footer starts at %d", offs[nchunks], footerOff)
+	if pos != footerOff {
+		return nil, fmt.Errorf("tracefile: corrupt footer: chunks end at %d, footer starts at %d", pos, footerOff)
 	}
-	return &File{
+	f := &File{
 		ra:      ra,
 		name:    string(name),
+		version: version,
 		threads: int(threads),
 		regions: int(regions),
 		gzip:    flags&flagGzip != 0,
-		offs:    offs,
-	}, nil
+		off:     off,
+		end:     end,
+	}
+	if version == 2 {
+		// The streaming header duplicates the footer metadata so uploads
+		// can profile before the index arrives; the two copies must agree.
+		if err := f.checkHeader(name, threads, regions, flags); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// parseMeta decodes the shared metadata block (name, threads, regions,
+// flags) used verbatim by the v2 streaming header and both footers. limit
+// bounds the accepted name length.
+func parseMeta(fr io.ByteReader, limit int) (name []byte, threads, regions uint64, flags byte, err error) {
+	nameLen, err := binary.ReadUvarint(fr)
+	if err != nil || nameLen > uint64(limit) {
+		return nil, 0, 0, 0, fmt.Errorf("tracefile: corrupt metadata: bad name length")
+	}
+	name = make([]byte, nameLen)
+	if r, ok := fr.(io.Reader); ok {
+		if _, err := io.ReadFull(r, name); err != nil {
+			return nil, 0, 0, 0, fmt.Errorf("tracefile: corrupt metadata: %w", err)
+		}
+	} else {
+		for i := range name {
+			b, err := fr.ReadByte()
+			if err != nil {
+				return nil, 0, 0, 0, fmt.Errorf("tracefile: corrupt metadata: %w", err)
+			}
+			name[i] = b
+		}
+	}
+	threads, err = binary.ReadUvarint(fr)
+	if err != nil || threads == 0 || threads > 1<<20 {
+		return nil, 0, 0, 0, fmt.Errorf("tracefile: corrupt metadata: bad thread count")
+	}
+	regions, err = binary.ReadUvarint(fr)
+	if err != nil || regions > 1<<40 {
+		return nil, 0, 0, 0, fmt.Errorf("tracefile: corrupt metadata: bad region count")
+	}
+	flags, err = fr.ReadByte()
+	if err != nil {
+		return nil, 0, 0, 0, fmt.Errorf("tracefile: corrupt metadata: %w", err)
+	}
+	return name, threads, regions, flags, nil
+}
+
+// metaLen returns the encoded size of the metadata block.
+func metaLen(name []byte, threads, regions uint64) int {
+	return uvarintLen(uint64(len(name))) + len(name) + uvarintLen(threads) + uvarintLen(regions) + 1
+}
+
+// uvarintLen returns the encoded length of n as a uvarint.
+func uvarintLen(n uint64) int {
+	l := 1
+	for n >= 0x80 {
+		n >>= 7
+		l++
+	}
+	return l
+}
+
+// checkHeader re-reads the v2 streaming header and verifies it matches the
+// footer metadata, so a reader and a streaming consumer of the same bytes
+// can never disagree about the trace's shape.
+func (f *File) checkHeader(name []byte, threads, regions uint64, flags byte) error {
+	hdr := make([]byte, metaLen(name, threads, regions))
+	if _, err := f.ra.ReadAt(hdr, magicLen); err != nil {
+		return fmt.Errorf("tracefile: reading streaming header: %w", err)
+	}
+	hr := bytes.NewReader(hdr)
+	hname, hthreads, hregions, hflags, err := parseMeta(hr, len(hdr))
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(hname, name) || hthreads != threads || hregions != regions || hflags != flags {
+		return fmt.Errorf("tracefile: streaming header disagrees with footer (corrupt file)")
+	}
+	return nil
 }
 
 // Close releases the underlying file handle (if Open created one). Streams
@@ -152,6 +239,34 @@ func (f *File) Regions() int { return f.regions }
 
 // Gzipped reports whether chunks are gzip-compressed.
 func (f *File) Gzipped() bool { return f.gzip }
+
+// Version reports the on-disk format version (1 or 2). Only version 2
+// carries the streaming header and inline chunk framing that DecodeStream
+// needs; version 1 files replay identically but cannot be consumed
+// incrementally.
+func (f *File) Version() int { return f.version }
+
+// RegionDigest returns the content digest of region i: the SHA-256 of the
+// region's encoded chunk payloads under the canonical framing (see
+// digestRegion). Two regions digest equal exactly when they replay
+// identically, independent of which trace file — or format version —
+// carries them, so per-region derived artifacts (profiles) content-address
+// across traces.
+func (f *File) RegionDigest(i int) (string, error) {
+	if i < 0 || i >= f.regions {
+		return "", fmt.Errorf("tracefile: region %d out of range [0,%d)", i, f.regions)
+	}
+	d := newRegionDigester(f.gzip, f.threads)
+	for t := 0; t < f.threads; t++ {
+		c := i*f.threads + t
+		n := f.end[c] - f.off[c]
+		d.beginChunk(uint64(n))
+		if _, err := io.Copy(d, io.NewSectionReader(f.ra, f.off[c], n)); err != nil {
+			return "", fmt.Errorf("tracefile: digesting region %d thread %d: %w", i, t, err)
+		}
+	}
+	return d.sum(), nil
+}
 
 // Region implements trace.Program. The returned Region reads its chunks
 // lazily; materializing it costs no trace decoding.
@@ -203,6 +318,28 @@ var chunkReaderPool = sync.Pool{New: func() any {
 	}
 }}
 
+// openChunkStream builds a pooled-reader decode stream over the payload
+// bytes [off, end) of ra, inflating when gz is set. This is the single
+// path behind File replay and the in-memory regions DecodeStream hands to
+// the ingest profiler, so the two cannot decode differently.
+func openChunkStream(ra io.ReaderAt, off, end int64, gz bool) (*chunkStream, error) {
+	cr := chunkReaderPool.Get().(*chunkReader)
+	cr.sect = sectReader{ra: ra, off: off, end: end}
+	cr.br.Reset(&cr.sect)
+	src := cr.br
+	if gz {
+		if err := cr.zr.Reset(cr.br); err != nil {
+			chunkReaderPool.Put(cr)
+			return nil, err
+		}
+		cr.zbr.Reset(&cr.zr)
+		src = cr.zbr
+	}
+	s := newChunkStream(src)
+	s.cr = cr
+	return s, nil
+}
+
 // Verify fully decodes every chunk, checking the encoding end to end.
 // Replay itself never requires this; it exists for integrity checks
 // (bptool info -verify) and tests.
@@ -226,20 +363,10 @@ func (f *File) Verify() error {
 
 func (f *File) stream(region, tid int) (*chunkStream, error) {
 	i := region*f.threads + tid
-	cr := chunkReaderPool.Get().(*chunkReader)
-	cr.sect = sectReader{ra: f.ra, off: f.offs[i], end: f.offs[i+1]}
-	cr.br.Reset(&cr.sect)
-	src := cr.br
-	if f.gzip {
-		if err := cr.zr.Reset(cr.br); err != nil {
-			chunkReaderPool.Put(cr)
-			return nil, fmt.Errorf("tracefile: region %d thread %d: %w", region, tid, err)
-		}
-		cr.zbr.Reset(&cr.zr)
-		src = cr.zbr
+	s, err := openChunkStream(f.ra, f.off[i], f.end[i], f.gzip)
+	if err != nil {
+		return nil, fmt.Errorf("tracefile: region %d thread %d: %w", region, tid, err)
 	}
-	s := newChunkStream(src)
-	s.cr = cr
 	return s, nil
 }
 

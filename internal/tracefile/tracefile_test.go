@@ -246,7 +246,7 @@ func TestVerifyDetectsChunkCorruption(t *testing.T) {
 	}
 	// Flip a byte in the middle of the first chunk's deflate payload (the
 	// first bytes are the gzip header, whose MTIME field is not checked).
-	data[(intact.offs[0]+intact.offs[1])/2] ^= 0xff
+	data[(intact.off[0]+intact.end[0])/2] ^= 0xff
 	f, err := NewReader(bytes.NewReader(data), int64(len(data)))
 	if err != nil {
 		t.Fatalf("NewReader: %v", err) // index itself is intact

@@ -18,6 +18,11 @@ type Options struct {
 	// the entropy of the access patterns; random access is preserved
 	// because no chunk depends on another.
 	Gzip bool
+	// Version selects the on-disk format: 2 (default) writes the
+	// streamable layout, 1 writes the legacy layout. Version 1 exists for
+	// compatibility tests only; it replays identically but cannot be
+	// profiled during upload.
+	Version int
 }
 
 // Option mutates recording Options.
@@ -28,23 +33,58 @@ func WithGzip(on bool) Option {
 	return func(o *Options) { o.Gzip = on }
 }
 
+// WithVersion selects the format version (1 or 2). Use only to produce
+// legacy files for compatibility testing; new recordings should stay on
+// the default.
+func WithVersion(v int) Option {
+	return func(o *Options) { o.Version = v }
+}
+
 // Record writes p to w in the binary trace format (see doc.go). It is a
 // single forward pass: every region's thread streams are drained in order,
 // so w never needs to seek and memory stays O(largest chunk encoding).
+// The default version 2 layout is self-framing on the way in, so a reader
+// on the other end of a pipe can decode regions as they arrive
+// (DecodeStream) while the trailing index still serves random access.
 func Record(w io.Writer, p trace.Program, opts ...Option) error {
-	var o Options
+	o := Options{Version: 2}
 	for _, f := range opts {
 		f(&o)
+	}
+	if o.Version != 1 && o.Version != 2 {
+		return fmt.Errorf("tracefile: unsupported format version %d", o.Version)
 	}
 	threads, regions := p.Threads(), p.Regions()
 	if threads <= 0 {
 		return fmt.Errorf("tracefile: program %q has %d threads", p.Name(), threads)
 	}
 
-	if _, err := io.WriteString(w, magic); err != nil {
+	var flags byte
+	if o.Gzip {
+		flags |= flagGzip
+	}
+	meta := binary.AppendUvarint(nil, uint64(len(p.Name())))
+	meta = append(meta, p.Name()...)
+	meta = binary.AppendUvarint(meta, uint64(threads))
+	meta = binary.AppendUvarint(meta, uint64(regions))
+	meta = append(meta, flags)
+
+	hdr := magicV1
+	if o.Version == 2 {
+		hdr = magicV2
+	}
+	if _, err := io.WriteString(w, hdr); err != nil {
 		return fmt.Errorf("tracefile: writing header: %w", err)
 	}
 	offset := int64(magicLen)
+	if o.Version == 2 {
+		// Streaming header: the footer metadata, up front, so a pipe
+		// consumer knows the trace's shape before the first chunk.
+		if _, err := w.Write(meta); err != nil {
+			return fmt.Errorf("tracefile: writing header: %w", err)
+		}
+		offset += int64(len(meta))
+	}
 
 	lengths := make([]uint64, 0, regions*threads)
 	var raw []byte // reused chunk encoding buffer
@@ -53,6 +93,7 @@ func Record(w io.Writer, p trace.Program, opts ...Option) error {
 	if o.Gzip {
 		zw = gzip.NewWriter(&zbuf)
 	}
+	var pfx [binary.MaxVarintLen64]byte
 	for r := 0; r < regions; r++ {
 		region := p.Region(r)
 		for t := 0; t < threads; t++ {
@@ -73,6 +114,13 @@ func Record(w io.Writer, p trace.Program, opts ...Option) error {
 				}
 				chunk = zbuf.Bytes()
 			}
+			if o.Version == 2 {
+				n := binary.PutUvarint(pfx[:], uint64(len(chunk)))
+				if _, err := w.Write(pfx[:n]); err != nil {
+					return fmt.Errorf("tracefile: writing region %d thread %d: %w", r, t, err)
+				}
+				offset += int64(n)
+			}
 			if _, err := w.Write(chunk); err != nil {
 				return fmt.Errorf("tracefile: writing region %d thread %d: %w", r, t, err)
 			}
@@ -81,16 +129,9 @@ func Record(w io.Writer, p trace.Program, opts ...Option) error {
 		}
 	}
 
-	// Trailing index: footer, its offset, and the trailer magic.
-	footer := binary.AppendUvarint(nil, uint64(len(p.Name())))
-	footer = append(footer, p.Name()...)
-	footer = binary.AppendUvarint(footer, uint64(threads))
-	footer = binary.AppendUvarint(footer, uint64(regions))
-	var flags byte
-	if o.Gzip {
-		flags |= flagGzip
-	}
-	footer = append(footer, flags)
+	// Trailing index: footer (the same metadata block plus the payload
+	// lengths), its offset, and the trailer magic.
+	footer := meta
 	for _, n := range lengths {
 		footer = binary.AppendUvarint(footer, n)
 	}
@@ -99,7 +140,11 @@ func Record(w io.Writer, p trace.Program, opts ...Option) error {
 	}
 	var tail [tailLen]byte
 	binary.LittleEndian.PutUint64(tail[:8], uint64(offset))
-	copy(tail[8:], trailerMagic)
+	trailer := trailerMagicV1
+	if o.Version == 2 {
+		trailer = trailerMagicV2
+	}
+	copy(tail[8:], trailer)
 	if _, err := w.Write(tail[:]); err != nil {
 		return fmt.Errorf("tracefile: writing trailer: %w", err)
 	}
