@@ -63,7 +63,14 @@ func (m *Manager) IngestTrace(r io.Reader) (IngestResult, error) {
 		}
 		tw.Abort()
 		// Mirror RemoveTrace cleanup: a failed upload must not orphan
-		// profile artifacts for a trace that was never stored.
+		// profile artifacts for a trace that was never stored. PutProfile
+		// publishes exclusively, so each digest here was created by this
+		// ingest alone — cleanup cannot race another ingest's claim of
+		// creation. One narrow window remains: a concurrent ingest of
+		// overlapping region content may have counted one of these entries
+		// as a cache hit before we remove it; its trace's first analyze
+		// recomputes the profile from the stored bytes, so the result is
+		// unchanged and the cache self-heals.
 		createdMu.Lock()
 		defer createdMu.Unlock()
 		for _, d := range created {
@@ -95,6 +102,17 @@ func (m *Manager) IngestTrace(r io.Reader) (IngestResult, error) {
 	workers := runtime.GOMAXPROCS(0)
 	work := make(chan tracefile.RegionChunks, workers)
 	var wg sync.WaitGroup
+	var closeOnce sync.Once
+	closeWork := func() { closeOnce.Do(func() { close(work) }) }
+	// Drain the pool on every exit, including a panic out of DecodeStream
+	// or the tee'd writer: an HTTP server recovers handler panics, and a
+	// stranded pool of workers per bad request would accumulate silently.
+	// Registered after the cleanup defer above so the workers are gone
+	// (LIFO order) before cleanup reads the digests they created.
+	defer func() {
+		closeWork()
+		wg.Wait()
+	}()
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
@@ -129,7 +147,7 @@ func (m *Manager) IngestTrace(r io.Reader) (IngestResult, error) {
 		work <- rc
 		return nil
 	})
-	close(work)
+	closeWork()
 	wg.Wait()
 	if derr == nil {
 		derr = getErr()

@@ -3,7 +3,9 @@ package service
 import (
 	"bytes"
 	"context"
+	"runtime"
 	"testing"
+	"time"
 
 	bp "barrierpoint"
 	"barrierpoint/internal/store"
@@ -201,6 +203,41 @@ func TestIngestFailureLeavesNoOrphans(t *testing.T) {
 	}
 	if len(profiles) != res.Regions {
 		t.Fatalf("failed re-upload disturbed the profile cache: %d profiles, want %d", len(profiles), res.Regions)
+	}
+}
+
+// panicReader stands in for an upload body whose Read panics (e.g. a
+// buggy middleware wrapper), the worst-case failure of the decode path.
+type panicReader struct{}
+
+func (panicReader) Read([]byte) (int, error) { panic("upload body exploded") }
+
+// TestIngestPanicDrainsWorkers: a panic out of the decode path must
+// propagate but not strand the profiler pool — net/http recovers handler
+// panics, so stranded workers would otherwise accumulate silently, one
+// pool per bad request.
+func TestIngestPanicDrainsWorkers(t *testing.T) {
+	m, _ := newManager(t)
+	before := runtime.NumGoroutine()
+	const rounds = 4
+	for i := 0; i < rounds; i++ {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("ingest swallowed the reader panic")
+				}
+			}()
+			m.IngestTrace(panicReader{})
+		}()
+	}
+	// Workers exit asynchronously after the channel close; give them a
+	// moment. Pre-fix this leaked rounds*GOMAXPROCS goroutines.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before+2 {
+		t.Fatalf("goroutines grew from %d to %d after %d panicking ingests", before, got, rounds)
 	}
 }
 

@@ -232,7 +232,10 @@ func TestProfileCache(t *testing.T) {
 }
 
 // TestConcurrentPutProfile: concurrent identical profile writes (ingest of
-// overlapping traces) must all succeed and leave exactly one entry.
+// overlapping traces) must all succeed, leave exactly one entry, and report
+// existed=false to exactly one writer — ingest failure cleanup trusts that
+// signal to remove only entries it created, so a double-claim would let a
+// failed ingest delete a profile a successful one relies on.
 func TestConcurrentPutProfile(t *testing.T) {
 	st, err := Open(t.TempDir())
 	if err != nil {
@@ -242,18 +245,26 @@ func TestConcurrentPutProfile(t *testing.T) {
 	blob := bytes.Repeat([]byte{0x42}, 1024)
 	var wg sync.WaitGroup
 	errs := make([]error, 8)
+	existed := make([]bool, len(errs))
 	for i := range errs {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, errs[i] = st.PutProfile(digest, "rd1", blob)
+			existed[i], errs[i] = st.PutProfile(digest, "rd1", blob)
 		}(i)
 	}
 	wg.Wait()
+	created := 0
 	for i, err := range errs {
 		if err != nil {
 			t.Fatalf("put %d: %v", i, err)
 		}
+		if !existed[i] {
+			created++
+		}
+	}
+	if created != 1 {
+		t.Fatalf("%d writers reported existed=false, want exactly 1", created)
 	}
 	got, err := st.GetProfile(digest, "rd1")
 	if err != nil || !bytes.Equal(got, blob) {

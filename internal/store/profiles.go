@@ -39,20 +39,20 @@ func (s *Store) profilePath(digest, codec string) string {
 // PutProfile stores a region profile under (digest, codec). Profiles are
 // content-addressed, so if the entry already exists the write is skipped
 // and existed is true — concurrent ingests of overlapping traces simply
-// race to be first. The write is durable (fsync around the rename), like
-// every other store write.
+// race to be first, and the entry is published exclusively (hard link, not
+// rename) so exactly one of the racers observes existed=false. Callers
+// therefore get an accurate "this call created the entry" signal, which
+// ingest failure cleanup relies on to remove only its own creations. The
+// write is durable (fsync around the publish), like every other store
+// write.
 func (s *Store) PutProfile(digest, codec string, data []byte) (existed bool, err error) {
 	if err := s.checkProfile(digest, codec); err != nil {
 		return false, err
 	}
-	p := s.profilePath(digest, codec)
-	if _, err := os.Stat(p); err == nil {
+	if _, err := os.Stat(s.profilePath(digest, codec)); err == nil {
 		return true, nil
 	}
-	if err := writeDurable(filepath.Join(s.root, "profiles"), digest+"."+codec, data); err != nil {
-		return false, err
-	}
-	return false, nil
+	return writeDurableExcl(filepath.Join(s.root, "profiles"), digest+"."+codec, data)
 }
 
 // GetProfile returns the profile stored under (digest, codec), or an error

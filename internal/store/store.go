@@ -444,6 +444,40 @@ func writeDurable(dir, name string, data []byte) error {
 	return nil
 }
 
+// writeDurableExcl is writeDurable for create-once entries: the temp file
+// is published with os.Link instead of os.Rename, which fails if the name
+// already exists, so among concurrent writers of the same name exactly one
+// observes existed=false. The losers' bytes are discarded — fine for
+// content-addressed entries, where every writer's bytes are equivalent.
+func writeDurableExcl(dir, name string, data []byte) (existed bool, err error) {
+	tmp, err := os.CreateTemp(dir, ".put-*")
+	if err != nil {
+		return false, fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return false, fmt.Errorf("store: writing %s: %w", name, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return false, fmt.Errorf("store: syncing %s: %w", name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return false, fmt.Errorf("store: %w", err)
+	}
+	if err := os.Link(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		if os.IsExist(err) {
+			return true, nil
+		}
+		return false, fmt.Errorf("store: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return false, fmt.Errorf("store: syncing %s: %w", dir, err)
+	}
+	return false, nil
+}
+
 // PutArtifact atomically stores the named artifact for the trace,
 // overwriting any previous value. The write is durable: temp file and
 // directory are fsynced around the rename.

@@ -262,7 +262,14 @@ func (w *WAL) Rewrite(payloads [][]byte) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("store: %w", err)
 	}
-	syncDir(dir)
+	serr := syncDir(dir)
+	// The rename happened, so the new file is the log either way: swap the
+	// handles first, then report a directory-fsync failure. The records are
+	// intact and synced in the new file (appends may continue), but the
+	// rename itself is not yet known durable — a crash could resurface the
+	// pre-compaction log — so the caller must not treat the compaction as
+	// committed. Same "report rather than pretend durability" contract as
+	// TraceWriter.Commit and writeDurable.
 	old := w.f
 	w.f = tmp
 	w.size = size
@@ -270,6 +277,9 @@ func (w *WAL) Rewrite(payloads [][]byte) error {
 	old.Close()
 	if _, err := w.f.Seek(0, io.SeekEnd); err != nil {
 		return fmt.Errorf("store: %w", err)
+	}
+	if serr != nil {
+		return fmt.Errorf("store: syncing wal dir: %w", serr)
 	}
 	return nil
 }

@@ -168,10 +168,15 @@ func DecodeStream(r io.Reader, fn func(RegionChunks) error) (StreamInfo, error) 
 		Streamed: true,
 	}
 	pos := int64(magicLen) + int64(metaLen(name, threads, regions))
-	lengths := make([]uint64, 0, threads*regions)
+	// Never size an allocation from the header's thread/region counts: they
+	// are untrusted (threads*regions can exceed any sane cap, or overflow
+	// int outright) and nothing backs them yet. Both lengths and chunks grow
+	// by append, so their growth is bounded by bytes actually read — a
+	// crafted header with huge counts hits EOF on its first missing chunk.
+	var lengths []uint64
 	for ri := 0; ri < info.Regions; ri++ {
 		d := newRegionDigester(info.Gzip, info.Threads)
-		chunks := make([][]byte, info.Threads)
+		chunks := make([][]byte, 0, min(info.Threads, 64))
 		for t := 0; t < info.Threads; t++ {
 			n, err := binary.ReadUvarint(br)
 			if err != nil {
@@ -184,7 +189,7 @@ func DecodeStream(r io.Reader, fn func(RegionChunks) error) (StreamInfo, error) 
 			if _, err := io.CopyN(io.MultiWriter(&buf, d), br, int64(n)); err != nil {
 				return info, errw(err, "region %d thread %d: reading chunk", ri, t)
 			}
-			chunks[t] = buf.Bytes()
+			chunks = append(chunks, buf.Bytes())
 			lengths = append(lengths, n)
 			pos += int64(uvarintLen(n)) + int64(n)
 		}

@@ -2,6 +2,7 @@ package tracefile
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
 	"reflect"
@@ -259,6 +260,28 @@ func TestDecodeStreamErrors(t *testing.T) {
 		r := io.MultiReader(bytes.NewReader(good[:20]), iotest{})
 		if _, err := DecodeStream(r, nop); err == nil {
 			t.Fatal("accepted stream that died mid-transfer")
+		}
+	})
+	t.Run("huge-header-counts", func(t *testing.T) {
+		// Regression: a ~20-byte upload whose header claims the maximum
+		// thread and region counts parseMeta admits. Sizing any allocation
+		// from those counts either panics (threads*regions overflows a
+		// slice cap) or commits gigabytes before a single payload byte has
+		// been read; the decoder must instead fail on the missing first
+		// chunk.
+		for _, counts := range [][2]uint64{
+			{1 << 20, 1 << 40}, // cap overflow: panic before the fix
+			{1 << 20, 1 << 17}, // 1 TiB worth of uint64 lengths if pre-sized
+		} {
+			hdr := []byte(magicV2)
+			hdr = append(hdr, 1, 'x') // name "x"
+			hdr = binary.AppendUvarint(hdr, counts[0])
+			hdr = binary.AppendUvarint(hdr, counts[1])
+			hdr = append(hdr, 0) // flags
+			_, err := DecodeStream(bytes.NewReader(hdr), nop)
+			if !errors.Is(err, ErrFormat) {
+				t.Fatalf("counts %v: err = %v, want ErrFormat", counts, err)
+			}
 		}
 	})
 }
