@@ -63,6 +63,7 @@ import (
 	"time"
 
 	"barrierpoint/internal/farm"
+	"barrierpoint/internal/fault"
 	"barrierpoint/internal/obs"
 	"barrierpoint/internal/service"
 	"barrierpoint/internal/store"
@@ -81,16 +82,19 @@ func run(args []string, stderr io.Writer) error {
 	fs := flag.NewFlagSet("bpserve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr     = fs.String("addr", ":8080", "listen address")
-		storeDir = fs.String("store", "bpstore", "content-addressed store directory")
-		workers  = fs.Int("workers", 0, "job worker goroutines (0 = GOMAXPROCS)")
-		depth    = fs.Int("queue", 0, "job queue depth (0 = default)")
-		maxMB    = fs.Int64("max-upload-mb", 1024, "largest accepted trace upload, MiB")
-		leaseTTL = fs.Duration("farm-lease-ttl", 30*time.Second, "farm task lease duration (heartbeats renew it)")
-		retries  = fs.Int("farm-retries", 3, "farm task attempts before permanent failure")
-		replayMB = fs.Int64("replay-cache-mb", 256, "decoded-region replay cache budget, MiB (0 disables)")
-		walPath  = fs.String("wal", "", "farm queue write-ahead log path (default <store>/farm.wal; \"off\" disables durability)")
-		pprofOn  = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		addr      = fs.String("addr", ":8080", "listen address")
+		storeDir  = fs.String("store", "bpstore", "content-addressed store directory")
+		workers   = fs.Int("workers", 0, "job worker goroutines (0 = GOMAXPROCS)")
+		depth     = fs.Int("queue", 0, "job queue depth (0 = default)")
+		maxMB     = fs.Int64("max-upload-mb", 1024, "largest accepted trace upload, MiB")
+		leaseTTL  = fs.Duration("farm-lease-ttl", 30*time.Second, "farm task lease duration (heartbeats renew it)")
+		retries   = fs.Int("farm-retries", 3, "farm task attempts before permanent failure")
+		replayMB  = fs.Int64("replay-cache-mb", 256, "decoded-region replay cache budget, MiB (0 disables)")
+		walPath   = fs.String("wal", "", "farm queue write-ahead log path (default <store>/farm.wal; \"off\" disables durability)")
+		jobWal    = fs.String("job-wal", "", "job journal path (default <store>/jobs.wal; \"off\" disables crash-safe job recovery)")
+		drainTO   = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget: time allowed for in-flight jobs to finish")
+		faultSpec = fs.String("fault", "", "fault-injection spec, e.g. 'store.put-artifact:p=0.05' (chaos testing; see internal/fault)")
+		pprofOn   = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	lf := obs.RegisterLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -102,6 +106,12 @@ func run(args []string, stderr io.Writer) error {
 	logger, err := lf.Logger(stderr)
 	if err != nil {
 		return err
+	}
+	if err := fault.Configure(*faultSpec); err != nil {
+		return err
+	}
+	if *faultSpec != "" {
+		logger.Warn("fault injection armed", "spec", *faultSpec)
 	}
 
 	st, err := store.Open(*storeDir)
@@ -136,6 +146,24 @@ func run(args []string, stderr io.Writer) error {
 	if q := mgr.Farm(); q != nil {
 		q.SetLogger(logger)
 	}
+	// The job journal is enabled after the farm is wired so recovered
+	// estimate jobs re-enqueued at startup see the same execution tiers
+	// a fresh submission would.
+	jw := *jobWal
+	if jw == "" {
+		jw = filepath.Join(*storeDir, "jobs.wal")
+	}
+	if jw != "off" {
+		recov, err := mgr.EnableJournal(jw)
+		if err != nil {
+			return fmt.Errorf("opening job journal: %w", err)
+		}
+		if recov.Records > 0 {
+			logger.Info(fmt.Sprintf(
+				"job journal %s: replayed %d records (%d bytes torn tail dropped): %d resolved from store, %d re-enqueued, %d already terminal, %d unrecoverable",
+				jw, recov.Records, recov.Dropped, recov.Resolved, recov.Requeued, recov.Terminal, recov.Unrecoverable))
+		}
+	}
 	srv := newServer(st, mgr)
 	srv.maxUpload = *maxMB << 20
 	if *pprofOn {
@@ -155,9 +183,12 @@ func run(args []string, stderr io.Writer) error {
 	case <-ctx.Done():
 	}
 	// Graceful drain: stop accepting connections, then let queued and
-	// running jobs finish.
-	logger.Info("shutting down")
-	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	// running jobs finish (bounded by -drain-timeout). Manager.Shutdown
+	// journals every final state and closes the job journal only after a
+	// full drain; on timeout the journal is left open, so the next start
+	// replays and recovers whatever was cut off — same as a crash.
+	logger.Info("shutting down", "drain_timeout", (*drainTO).String())
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
 		return err
@@ -488,6 +519,17 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	if storeErr != nil {
 		body["store_error"] = storeErr.Error()
+	}
+	js := s.mgr.JournalStats()
+	body["job_journal"] = map[string]any{
+		"durable":     js.Durable,
+		"bytes":       js.Bytes,
+		"appends":     js.Appends,
+		"errors":      js.Errors,
+		"compactions": js.Compactions,
+	}
+	if rec := s.mgr.JobRecovery(); rec.Records > 0 {
+		body["job_recovery"] = rec
 	}
 	if q := s.mgr.Farm(); q != nil {
 		fs := q.Stats()

@@ -179,6 +179,9 @@ func runTrace(args []string, stdout, stderr io.Writer) error {
 
 	fmt.Fprintf(stdout, "job:      %s (%s %.12s)\n", snap.ID, snap.Request.Kind, snap.Request.Trace)
 	fmt.Fprintf(stdout, "status:   %s\n", snap.Status)
+	if snap.Recovered {
+		fmt.Fprintln(stdout, "recovered: true (replayed from the job journal after a restart)")
+	}
 	if snap.Error != "" {
 		fmt.Fprintf(stdout, "error:    %s\n", snap.Error)
 	}

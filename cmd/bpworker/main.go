@@ -45,6 +45,7 @@ import (
 
 	bp "barrierpoint"
 	"barrierpoint/internal/farm"
+	"barrierpoint/internal/fault"
 	"barrierpoint/internal/obs"
 	"barrierpoint/internal/store"
 )
@@ -84,11 +85,12 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		name        = fs.String("name", "", "worker name shown in /farm/workers (default: hostname)")
 		concurrency = fs.Int("concurrency", 0, "tasks simulated in parallel (0 = GOMAXPROCS)")
 		poll        = fs.Duration("poll", 500*time.Millisecond, "sleep between empty lease polls")
-		maxTasks    = fs.Int("max-tasks", 0, "exit after attempting this many tasks (0 = run forever)")
+		maxTasks    = fs.Int("max-tasks", 0, "exit after settling this many tasks (0 = run forever); transient RPC trouble retries instead of burning budget")
 		idleExit    = fs.Duration("idle-exit", 0, "exit after the queue stays empty this long (0 = never)")
 		replayMB    = fs.Int64("replay-cache-mb", 256, "decoded-region replay cache budget, MiB (0 disables)")
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics and /debug/spans on this address (empty disables)")
 		pprofOn     = fs.Bool("pprof", false, "mount net/http/pprof on the -metrics-addr listener")
+		faultSpec   = fs.String("fault", "", "fault-injection spec, e.g. 'rpc.lease:p=0.1;rpc.result:p=0.1' (chaos testing; see internal/fault)")
 	)
 	lf := obs.RegisterLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -112,6 +114,13 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		*concurrency = runtime.GOMAXPROCS(0)
 	}
 
+	if err := fault.Configure(*faultSpec); err != nil {
+		return err
+	}
+	if *faultSpec != "" {
+		logger.Warn("fault injection armed", "spec", *faultSpec)
+	}
+
 	st, err := store.Open(*storeDir)
 	if err != nil {
 		return err
@@ -123,6 +132,10 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 		rc = bp.NewReplayCache(*replayMB << 20)
 	}
 	w := newWorker(c, st, rc, logger)
+	c.OnRetry = func(op string, attempt int, err error) {
+		w.rpcRetries.Inc()
+		logger.Debug("rpc retrying", "op", op, "attempt", attempt, "err", err)
+	}
 
 	if *metricsAddr != "" {
 		// Fail fast on a bad or taken address rather than silently running
@@ -164,12 +177,20 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 	w.startHeartbeats()
 	defer w.stopHeartbeats()
 
-	attempted := 0
+	settled := 0
 	idleSince := time.Time{}
+	// Lease failures back off exponentially (reset on any success) so a
+	// down or flapping coordinator sees a thinning poll rate, not a
+	// constant hammer, and the worker never exits on transient trouble.
+	leaseDelay := *poll
+	maxLeaseDelay := 10 * time.Second
+	if *poll > maxLeaseDelay {
+		maxLeaseDelay = *poll
+	}
 	for ctx.Err() == nil {
 		want := *concurrency
-		if *maxTasks > 0 && *maxTasks-attempted < want {
-			want = *maxTasks - attempted
+		if *maxTasks > 0 && *maxTasks-settled < want {
+			want = *maxTasks - settled
 		}
 		tasks, err := c.Lease(want)
 		if err != nil {
@@ -189,14 +210,18 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 			}
 			// Transient server trouble (including the restart window while
 			// the new coordinator comes up): back off and retry rather
-			// than dying mid-fleet.
-			logger.Warn("lease failed", "err", err)
+			// than dying mid-fleet. Only ctx cancellation ends the loop.
+			logger.Warn("lease failed", "backoff", leaseDelay.String(), "err", err)
 			select {
 			case <-ctx.Done():
-			case <-time.After(*poll):
+			case <-time.After(leaseDelay):
+			}
+			if leaseDelay *= 2; leaseDelay > maxLeaseDelay {
+				leaseDelay = maxLeaseDelay
 			}
 			continue
 		}
+		leaseDelay = *poll
 		if len(tasks) == 0 {
 			if idleSince.IsZero() {
 				idleSince = time.Now()
@@ -211,10 +236,14 @@ func run(ctx context.Context, args []string, stderr io.Writer) error {
 			continue
 		}
 		idleSince = time.Time{}
-		attempted += len(tasks)
-		w.process(tasks)
-		if *maxTasks > 0 && attempted >= *maxTasks {
-			logger.Info(fmt.Sprintf("attempted %d tasks, exiting", attempted))
+		// Only settled tasks — an outcome (result or failure report)
+		// durably delivered to the server — consume -max-tasks budget.
+		// A task whose upload failed even after the client's own retries
+		// is left for its lease to lapse and does not count: transient
+		// RPC trouble must not drain the budget and stop the worker early.
+		settled += w.process(tasks)
+		if *maxTasks > 0 && settled >= *maxTasks {
+			logger.Info(fmt.Sprintf("settled %d tasks, exiting", settled))
 			return nil
 		}
 	}
@@ -234,12 +263,13 @@ type worker struct {
 	rc     *bp.ReplayCache // decoded-region cache shared across tasks
 	logger *slog.Logger
 
-	reg       *obs.Registry
-	spans     *obs.SpanRecorder
-	completed *obs.Counter
-	failed    *obs.Counter
-	taskDur   *obs.Histogram
-	fetchDur  *obs.Histogram
+	reg        *obs.Registry
+	spans      *obs.SpanRecorder
+	completed  *obs.Counter
+	failed     *obs.Counter
+	rpcRetries *obs.Counter
+	taskDur    *obs.Histogram
+	fetchDur   *obs.Histogram
 
 	mu       sync.Mutex
 	held     map[string]bool
@@ -254,6 +284,7 @@ func newWorker(c *farm.Client, st *store.Store, rc *bp.ReplayCache, logger *slog
 	w.spans = obs.NewSpanRecorder(0)
 	w.completed = r.Counter("bpworker_tasks_completed_total", "Tasks simulated and uploaded successfully.")
 	w.failed = r.Counter("bpworker_tasks_failed_total", "Tasks whose fetch or simulation failed (failure reported to the server).")
+	w.rpcRetries = r.Counter("bp_rpc_retries_total", "Farm RPC attempts that failed transiently and were retried with backoff.")
 	w.taskDur = r.Histogram("bpworker_task_seconds", "End-to-end task latency: trace fetch, simulation, upload.", obs.DefLatencyBuckets)
 	w.fetchDur = r.Histogram("bpworker_trace_fetch_seconds", "Trace fetch latency (cache-hit fetches are near-zero).", obs.DefLatencyBuckets)
 	r.GaugeFunc("bpworker_replay_cache_bytes", "Decoded-region replay cache resident bytes.", func() float64 {
@@ -366,8 +397,9 @@ func (w *worker) stopHeartbeats() {
 }
 
 // process simulates one leased batch in parallel and uploads every
-// outcome before returning.
-func (w *worker) process(tasks []farm.Task) {
+// outcome before returning. It returns how many tasks settled — i.e.
+// had an outcome (success or failure) delivered to the server.
+func (w *worker) process(tasks []farm.Task) int {
 	ids := make([]string, len(tasks))
 	for i, t := range tasks {
 		ids[i] = t.ID
@@ -389,33 +421,48 @@ func (w *worker) process(tasks []farm.Task) {
 		}
 	}
 	var wg sync.WaitGroup
-	for _, t := range tasks {
+	settled := make([]bool, len(tasks))
+	for i, t := range tasks {
 		wg.Add(1)
-		go func(t farm.Task) {
+		go func(i int, t farm.Task) {
 			defer wg.Done()
 			defer w.release(t.ID)
-			if err := w.runTask(t); err != nil {
+			done, err := w.runTask(t)
+			settled[i] = done
+			if err != nil {
 				w.logger.Warn("task failed",
 					"task", t.ID, "trace_id", t.TraceID, "trace", t.TraceKey,
-					"region", t.Region, "attempt", t.Attempt, "err", err)
+					"region", t.Region, "attempt", t.Attempt, "settled", done, "err", err)
 			}
-		}(t)
+		}(i, t)
 	}
 	wg.Wait()
+	n := 0
+	for _, ok := range settled {
+		if ok {
+			n++
+		}
+	}
+	return n
 }
 
 // runTask executes one task end to end: ensure the trace is local,
 // simulate the point, upload the result. Fetch and simulation errors are
 // reported as task failures (consuming one of the task's bounded
 // attempts — another worker may succeed). An upload error is NOT a task
-// failure: the compute succeeded, so the worker retries the idempotent
-// upload a few times and otherwise lets the lease expire and the task be
-// redone, rather than burning attempts on server-side trouble.
+// failure: the compute succeeded, so after the client's own retry budget
+// is exhausted the worker lets the lease expire and the task be redone,
+// rather than burning attempts on server-side trouble.
+//
+// The returned bool says whether the task settled — its outcome (result
+// or failure report) was durably delivered to the server. A task whose
+// upload or failure report could not be delivered is unsettled: its
+// lease lapses and the server reassigns it.
 //
 // Each task is recorded as a "farm-task" span carrying the submitting
 // job's trace ID (if the coordinator supplied one) with fetch, simulate
 // and upload stages — the worker-side half of the job's end-to-end trace.
-func (w *worker) runTask(t farm.Task) error {
+func (w *worker) runTask(t farm.Task) (bool, error) {
 	start := time.Now()
 	span := obs.NewSpan(t.TraceID, "farm-task")
 	span.SetAttr("task", t.ID)
@@ -440,26 +487,21 @@ func (w *worker) runTask(t farm.Task) error {
 		w.failed.Inc()
 		if ferr := w.client.Fail(t, err.Error()); ferr != nil {
 			w.logger.Warn("reporting failure failed", "task", t.ID, "err", ferr)
+			return false, err
 		}
-		return err
+		return true, err
 	}
-	var uploadErr error
 	stop := span.StartStage("upload")
-	for attempt := 0; attempt < 3; attempt++ {
-		if uploadErr = w.client.Complete(t, res); uploadErr == nil {
-			break
-		}
-		time.Sleep(time.Duration(attempt+1) * 100 * time.Millisecond)
-	}
+	uploadErr := w.client.Complete(t, res)
 	stop()
 	if uploadErr != nil {
 		span.SetAttr("error", uploadErr.Error())
-		return fmt.Errorf("uploading result: %w", uploadErr)
+		return false, fmt.Errorf("uploading result: %w", uploadErr)
 	}
 	w.completed.Inc()
 	w.taskDur.ObserveDuration(time.Since(start))
 	w.logger.Info("task done",
 		"task", t.ID, "trace_id", t.TraceID, "trace", t.TraceKey, "region", t.Region,
 		"attempt", t.Attempt, "dur", time.Since(start).Round(time.Millisecond).String())
-	return nil
+	return true, nil
 }

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"barrierpoint/internal/farm"
+	"barrierpoint/internal/fault"
 	"barrierpoint/internal/store"
 	"barrierpoint/internal/tracefile"
 	"barrierpoint/internal/workload"
@@ -382,5 +383,120 @@ func TestWorkerMetricsAndSpans(t *testing.T) {
 	cancel()
 	if err := <-done; err != nil {
 		t.Fatalf("run: %v\nstderr:\n%s", err, stderr.String())
+	}
+}
+
+// TestWorkerUploadFailureDoesNotBurnBudget knocks out the result
+// endpoint long enough to exhaust the client's own retry budget: the
+// task must stay UNSETTLED (its lease lapses, -max-tasks is not
+// consumed) and the worker must re-lease and deliver it once the
+// endpoint recovers — exiting only then, with the budget spent on the
+// one settled task.
+func TestWorkerUploadFailureDoesNotBurnBudget(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tracefile.Record(&buf, workload.New("npb-is", 8, workload.WithScale(0.05))); err != nil {
+		t.Fatal(err)
+	}
+	key, _, err := st.PutTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Short lease + fast sweep so the unsettled task requeues quickly.
+	q := farm.NewQueue(st, farm.Config{LeaseTTL: 300 * time.Millisecond, SweepEvery: 20 * time.Millisecond})
+	t.Cleanup(q.Close)
+	inner := farm.NewServer(q, st)
+
+	// The first 5 uploads fail: the client's default budget is 4 attempts
+	// per call, so the first runTask exhausts it and returns unsettled;
+	// the re-leased attempt's second upload try gets through.
+	var resultHits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/farm/result" && resultHits.Add(1) <= 5 {
+			http.Error(w, `{"error":"result storage down"}`, http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(srv.Close)
+
+	tk, err := q.Enqueue(farm.Spec{TraceKey: key, Region: 1, Sockets: 1, Warmup: "mru"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	var stderr bytes.Buffer
+	err = run(ctx, []string{
+		"-server", srv.URL,
+		"-store", filepath.Join(t.TempDir(), "wstore"),
+		"-name", "upload-retry-worker",
+		"-concurrency", "1",
+		"-poll", "10ms",
+		"-max-tasks", "1",
+	}, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, stderr.String())
+	}
+
+	select {
+	case <-tk.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatalf("ticket unresolved after worker exit; stderr:\n%s", stderr.String())
+	}
+	if _, err := tk.Result(); err != nil {
+		t.Fatalf("task failed: %v\nstderr:\n%s", err, stderr.String())
+	}
+	if got := resultHits.Load(); got < 6 {
+		t.Fatalf("result endpoint saw %d hits, want >= 6 (client retries + re-lease)", got)
+	}
+	workers := q.Workers()
+	if len(workers) != 1 || workers[0].Completed != 1 {
+		t.Fatalf("fleet state: %+v", workers)
+	}
+	log := stderr.String()
+	if !strings.Contains(log, "settled 1 tasks, exiting") {
+		t.Fatalf("worker exited before settling its budget:\n%s", log)
+	}
+	if !strings.Contains(log, "uploading result") {
+		t.Fatalf("missing unsettled-upload warning:\n%s", log)
+	}
+}
+
+// TestWorkerFaultFlagRetriesInjectedErrors boots the worker with -fault
+// arming deterministic lease failures: the injected errors must be
+// absorbed by the client's retry loop (counted in bp_rpc_retries_total)
+// without the worker exiting or the task failing.
+func TestWorkerFaultFlagRetriesInjectedErrors(t *testing.T) {
+	q, srv, _, key := newFarm(t)
+	tk, err := q.Enqueue(farm.Spec{TraceKey: key, Region: 1, Sockets: 1, Warmup: "mru"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	var stderr bytes.Buffer
+	err = run(ctx, []string{
+		"-server", srv.URL,
+		"-store", filepath.Join(t.TempDir(), "wstore"),
+		"-name", "fault-flag-worker",
+		"-poll", "10ms",
+		"-max-tasks", "1",
+		"-fault", "seed=5;rpc.lease:n=2",
+	}, &stderr)
+	fault.Reset() // the flag arms the process-wide injector; disarm for other tests
+	if err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, stderr.String())
+	}
+	if _, err := tk.Result(); err != nil {
+		t.Fatalf("task failed under injected lease faults: %v", err)
+	}
+	if !strings.Contains(stderr.String(), "fault injection armed") {
+		t.Fatalf("missing fault-armed log:\n%s", stderr.String())
 	}
 }

@@ -2,15 +2,18 @@ package farm
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
 	"time"
 
 	bp "barrierpoint"
+	"barrierpoint/internal/fault"
 	"barrierpoint/internal/store"
 )
 
@@ -260,6 +263,15 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 
 // Client is a worker-side handle on a farm server. Register assigns the
 // worker identity; the remaining calls map one-to-one onto the protocol.
+//
+// Every RPC runs under a per-attempt deadline (Timeout) and — because
+// the whole protocol is idempotent (registration mints a fresh id,
+// leases renew, completions dedup by task) — transparently retries
+// transport errors and 5xx server trouble with capped, jittered
+// exponential backoff (Retry). 4xx responses are the caller's bug and
+// never retry. Each attempt consults the fault-injection site
+// "rpc.<op>" (see internal/fault), which is how the chaos smokes make
+// the network flaky.
 type Client struct {
 	// Base is the server URL, e.g. "http://127.0.0.1:8080".
 	Base string
@@ -278,6 +290,115 @@ type Client struct {
 	// larger response is an explicit error, never a silently truncated
 	// (and then misparsed) payload.
 	MaxResponse int64
+	// Timeout bounds each RPC attempt, DefaultRPCTimeout if 0; negative
+	// disables the deadline.
+	Timeout time.Duration
+	// Retry is the backoff policy for failed attempts; zero fields take
+	// the DefaultRetry values. Retry.Attempts of 1 disables retries.
+	Retry RetryPolicy
+	// OnRetry, when set, observes every re-attempt (telemetry: the
+	// worker's bp_rpc_retries_total counter); op is the protocol
+	// operation ("register", "lease", "heartbeat", "result", "fetch"),
+	// attempt the 1-based number of the attempt that just failed.
+	OnRetry func(op string, attempt int, err error)
+}
+
+// RetryPolicy shapes the client's capped jittered exponential backoff.
+type RetryPolicy struct {
+	// Attempts is the total tries per RPC (first call included).
+	Attempts int
+	// Base is the backoff before the second attempt; each further wait
+	// doubles, capped at Max, and is jittered to [d/2, d).
+	Base time.Duration
+	Max  time.Duration
+}
+
+// Default retry/timeout parameters: four attempts spanning ~1s of
+// backoff rides out a coordinator restart or dropped connection without
+// stalling a worker for long on a genuinely dead server.
+const (
+	DefaultRPCTimeout    = 30 * time.Second
+	DefaultRetryAttempts = 4
+	DefaultRetryBase     = 100 * time.Millisecond
+	DefaultRetryMax      = 5 * time.Second
+)
+
+// DefaultRetry is the retry policy used where Client.Retry is zero.
+var DefaultRetry = RetryPolicy{Attempts: DefaultRetryAttempts, Base: DefaultRetryBase, Max: DefaultRetryMax}
+
+func (c *Client) retryPolicy() RetryPolicy {
+	p := c.Retry
+	if p.Attempts <= 0 {
+		p.Attempts = DefaultRetry.Attempts
+	}
+	if p.Base <= 0 {
+		p.Base = DefaultRetry.Base
+	}
+	if p.Max <= 0 {
+		p.Max = DefaultRetry.Max
+	}
+	return p
+}
+
+// backoff returns the jittered wait before attempt+1 (attempt is
+// 1-based): base·2^(attempt-1) capped at max, jittered to [d/2, d).
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	d := p.Base << (attempt - 1)
+	if d <= 0 || d > p.Max {
+		d = p.Max
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// statusError carries an HTTP status so the retry loop can tell server
+// trouble (5xx, worth retrying) from caller bugs (4xx, not).
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
+// retryable reports whether another attempt could help: transport
+// errors and 5xx responses retry, anything the server answered
+// deliberately with a 4xx does not.
+func retryable(err error) bool {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.code >= 500
+	}
+	return true
+}
+
+// call runs one idempotent RPC under the retry policy: per-attempt
+// fault injection, deadline, and jittered backoff between attempts.
+func (c *Client) call(op string, fn func(ctx context.Context) error) error {
+	pol := c.retryPolicy()
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = func() error {
+			if ferr := fault.Inject("rpc." + op); ferr != nil {
+				return ferr
+			}
+			ctx := context.Background()
+			if t := c.Timeout; t >= 0 {
+				if t == 0 {
+					t = DefaultRPCTimeout
+				}
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, t)
+				defer cancel()
+			}
+			return fn(ctx)
+		}()
+		if err == nil || !retryable(err) || attempt >= pol.Attempts {
+			return err
+		}
+		if c.OnRetry != nil {
+			c.OnRetry(op, attempt, err)
+		}
+		time.Sleep(pol.backoff(attempt))
+	}
 }
 
 // DefaultMaxResponse caps farm response bodies read by the client (lease
@@ -291,19 +412,28 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// post sends a JSON request and decodes a JSON response, mapping non-2xx
-// statuses onto errors carrying the server's error payload.
-func (c *Client) post(path string, req, resp any) error {
-	return c.postHeaders(path, req, resp, nil)
+// post sends a JSON request and decodes a JSON response under the
+// retry policy, mapping non-2xx statuses onto errors carrying the
+// server's error payload.
+func (c *Client) post(op, path string, req, resp any) error {
+	return c.postHeaders(op, path, req, resp, nil)
 }
 
 // postHeaders is post with extra request headers (trace propagation).
-func (c *Client) postHeaders(path string, req, resp any, headers map[string]string) error {
+func (c *Client) postHeaders(op, path string, req, resp any, headers map[string]string) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return err
 	}
-	hreq, err := http.NewRequest(http.MethodPost, c.Base+path, bytes.NewReader(body))
+	return c.call(op, func(ctx context.Context) error {
+		return c.doPost(ctx, path, body, resp, headers)
+	})
+}
+
+// doPost is one POST attempt: marshal-free (the body is pre-encoded so
+// every retry sends identical bytes), bounded read, status mapping.
+func (c *Client) doPost(ctx context.Context, path string, body []byte, resp any, headers map[string]string) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
@@ -334,9 +464,9 @@ func (c *Client) postHeaders(path string, req, resp any, headers map[string]stri
 			Error string `json:"error"`
 		}
 		if json.Unmarshal(b, &e) == nil && e.Error != "" {
-			return fmt.Errorf("farm: %s: %s", path, e.Error)
+			return &statusError{hr.StatusCode, fmt.Sprintf("farm: %s: %s", path, e.Error)}
 		}
-		return fmt.Errorf("farm: %s: HTTP %d", path, hr.StatusCode)
+		return &statusError{hr.StatusCode, fmt.Sprintf("farm: %s: HTTP %d", path, hr.StatusCode)}
 	}
 	if resp == nil {
 		return nil
@@ -347,7 +477,7 @@ func (c *Client) postHeaders(path string, req, resp any, headers map[string]stri
 // Register obtains a worker identity from the server.
 func (c *Client) Register(name string) error {
 	var resp registerResponse
-	if err := c.post("/farm/register", registerRequest{Name: name}, &resp); err != nil {
+	if err := c.post("register", "/farm/register", registerRequest{Name: name}, &resp); err != nil {
 		return err
 	}
 	c.Worker = resp.Worker
@@ -363,7 +493,7 @@ func (c *Client) Register(name string) error {
 // taking tasks; the caller should Register again and retry.
 func (c *Client) Lease(max int) ([]Task, error) {
 	var resp leaseResponse
-	if err := c.post("/farm/lease", leaseRequest{Worker: c.Worker, Max: max}, &resp); err != nil {
+	if err := c.post("lease", "/farm/lease", leaseRequest{Worker: c.Worker, Max: max}, &resp); err != nil {
 		return nil, err
 	}
 	if resp.Epoch != "" && c.Epoch != "" && resp.Epoch != c.Epoch {
@@ -377,7 +507,7 @@ func (c *Client) Lease(max int) ([]Task, error) {
 // server no longer recognizes as this worker's (abandon those).
 func (c *Client) Heartbeat(ids []string) (dropped []string, err error) {
 	var resp heartbeatResponse
-	if err := c.post("/farm/heartbeat", heartbeatRequest{Worker: c.Worker, Tasks: ids}, &resp); err != nil {
+	if err := c.post("heartbeat", "/farm/heartbeat", heartbeatRequest{Worker: c.Worker, Tasks: ids}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Dropped, nil
@@ -390,7 +520,7 @@ func (c *Client) Complete(t Task, res bp.RegionResult) error {
 	if err != nil {
 		return err
 	}
-	return c.postHeaders("/farm/result",
+	return c.postHeaders("result", "/farm/result",
 		resultRequest{Worker: c.Worker, Task: t.ID, Result: b}, nil, traceHeader(t))
 }
 
@@ -399,7 +529,7 @@ func (c *Client) Fail(t Task, msg string) error {
 	if msg == "" {
 		msg = "unknown error"
 	}
-	return c.postHeaders("/farm/result",
+	return c.postHeaders("result", "/farm/result",
 		resultRequest{Worker: c.Worker, Task: t.ID, Error: msg}, nil, traceHeader(t))
 }
 
@@ -412,26 +542,34 @@ func traceHeader(t Task) map[string]string {
 
 // FetchTrace downloads the trace with the given content key into the
 // worker's local store, verifying that the received bytes hash to the
-// requested key. Fetching a trace already present is a no-op.
+// requested key. Fetching a trace already present is a no-op. A failed
+// or corrupt transfer retries under the client's policy — the store's
+// content addressing makes the fetch idempotent.
 func (c *Client) FetchTrace(st *store.Store, key string) error {
 	if st.HasTrace(key) {
 		return nil
 	}
-	hr, err := c.httpClient().Get(c.Base + "/farm/trace/" + key)
-	if err != nil {
-		return err
-	}
-	defer hr.Body.Close()
-	if hr.StatusCode != http.StatusOK {
-		return fmt.Errorf("farm: fetching trace %.12s: HTTP %d", key, hr.StatusCode)
-	}
-	got, _, err := st.PutTrace(hr.Body)
-	if err != nil {
-		return err
-	}
-	if got != key {
-		st.RemoveTrace(got)
-		return fmt.Errorf("farm: trace %.12s: server sent content %.12s (corrupt transfer?)", key, got)
-	}
-	return nil
+	return c.call("fetch", func(ctx context.Context) error {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/farm/trace/"+key, nil)
+		if err != nil {
+			return err
+		}
+		hr, err := c.httpClient().Do(hreq)
+		if err != nil {
+			return err
+		}
+		defer hr.Body.Close()
+		if hr.StatusCode != http.StatusOK {
+			return &statusError{hr.StatusCode, fmt.Sprintf("farm: fetching trace %.12s: HTTP %d", key, hr.StatusCode)}
+		}
+		got, _, err := st.PutTrace(hr.Body)
+		if err != nil {
+			return err
+		}
+		if got != key {
+			st.RemoveTrace(got)
+			return fmt.Errorf("farm: trace %.12s: server sent content %.12s (corrupt transfer?)", key, got)
+		}
+		return nil
+	})
 }

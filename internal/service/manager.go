@@ -92,6 +92,10 @@ type Snapshot struct {
 	// TraceID is the job's telemetry trace ID, minted at Submit and
 	// propagated onto every farm task run on the job's behalf.
 	TraceID string `json:"trace_id,omitempty"`
+	// Recovered reports that the job crossed a coordinator restart: it
+	// was replayed from the job journal as live work and either resolved
+	// from the store or re-enqueued under its original ID.
+	Recovered bool `json:"recovered,omitempty"`
 	// Span is the job's stage-timing span: per-stage durations (profile,
 	// cluster, simulate-points, reconstruct, adaptive-round, ...) that
 	// partition the job's wall clock, plus concurrent stages (trace-decode)
@@ -114,6 +118,9 @@ type Stats struct {
 	// FarmRecovered counts tasks the attached farm queue rebuilt from its
 	// write-ahead log at startup (pending + requeued in-flight leases).
 	FarmRecovered int64 `json:"farm_tasks_recovered"`
+	// Recovered counts jobs replayed live from the job journal at startup
+	// (resolved from the store or re-enqueued under their original IDs).
+	Recovered int64 `json:"jobs_recovered"`
 	// AdaptiveRounds and AdaptivePromoted count promotion rounds and
 	// promoted regions across all CI-targeted estimate jobs.
 	AdaptiveRounds   int64 `json:"adaptive_rounds"`
@@ -149,6 +156,12 @@ type job struct {
 	done                       chan struct{}
 	traceID                    string
 	span                       *obs.Span // set when the job starts running
+	// artifact is the store artifact name the result landed in (set by
+	// execute); the journal's done record points at it instead of
+	// embedding bytes.
+	artifact string
+	// recovered marks a job replayed live from the job journal.
+	recovered bool
 }
 
 // maxRetained bounds the finished jobs kept for status polling: once
@@ -183,8 +196,17 @@ type Manager struct {
 	seq      int
 	closed   bool
 
-	submitted, deduped, done, failed, cacheHits, coldAnalyses, farmed atomic.Int64
-	farmRecovered, adaptiveRounds, adaptivePromoted                   atomic.Int64
+	// Job journal (EnableJournal): lifecycle records appended under m.mu
+	// so the log's order matches the in-memory transitions it mirrors.
+	journal                                           *store.WAL
+	journalClosed                                     bool
+	journalRecs                                       int
+	journalAppends, journalErrors, journalCompactions int64
+	jobRecovery                                       JobRecovery
+
+	submitted, deduped, done, failed, cacheHits, coldAnalyses, farmed   atomic.Int64
+	farmRecovered, adaptiveRounds, adaptivePromoted, recovered          atomic.Int64
+	farmFallbacks                                                       atomic.Int64
 	profileCacheHits, profileComputed, ingestedTraces, ingestedProfiles atomic.Int64
 
 	// Telemetry: reg serves GET /metrics (the atomics above stay the
@@ -244,6 +266,8 @@ func (m *Manager) registerMetrics() {
 	counter("bp_cold_analyses_total", "Profiling+clustering runs (selection cache misses).", &m.coldAnalyses)
 	counter("bp_jobs_farmed_total", "Estimate jobs whose points ran on the distributed queue.", &m.farmed)
 	counter("bp_farm_tasks_recovered_total", "Tasks rebuilt from the farm write-ahead log at startup.", &m.farmRecovered)
+	counter("bp_jobs_recovered_total", "Jobs restored from the job journal at startup (already terminal, resolved from the store, or re-enqueued).", &m.recovered)
+	counter("bp_farm_fallbacks_total", "Auto-mode estimates that fell back to local execution after a farm error.", &m.farmFallbacks)
 	counter("bp_adaptive_rounds_total", "Adaptive promotion rounds across all CI-targeted estimates.", &m.adaptiveRounds)
 	counter("bp_adaptive_promoted_total", "Regions promoted to detailed simulation by the adaptive sampler.", &m.adaptivePromoted)
 	counter("bp_profile_cache_hits_total", "Region profiles served from the content-addressed profile cache.", &m.profileCacheHits)
@@ -329,14 +353,15 @@ func (m *Manager) ReplayCacheStats() bp.ReplayCacheStats { return m.replay.Stats
 // Stats returns activity counters.
 func (m *Manager) Stats() Stats {
 	return Stats{
-		Submitted:     m.submitted.Load(),
-		Deduped:       m.deduped.Load(),
-		Done:          m.done.Load(),
-		Failed:        m.failed.Load(),
-		CacheHits:     m.cacheHits.Load(),
-		ColdAnalyses:  m.coldAnalyses.Load(),
+		Submitted:        m.submitted.Load(),
+		Deduped:          m.deduped.Load(),
+		Done:             m.done.Load(),
+		Failed:           m.failed.Load(),
+		CacheHits:        m.cacheHits.Load(),
+		ColdAnalyses:     m.coldAnalyses.Load(),
 		Farmed:           m.farmed.Load(),
 		FarmRecovered:    m.farmRecovered.Load(),
+		Recovered:        m.recovered.Load(),
 		AdaptiveRounds:   m.adaptiveRounds.Load(),
 		AdaptivePromoted: m.adaptivePromoted.Load(),
 		ProfileCacheHits: m.profileCacheHits.Load(),
@@ -452,6 +477,12 @@ func (m *Manager) Submit(req Request) (Snapshot, error) {
 		m.deduped.Add(1)
 		return m.snapshotLocked(j), nil
 	}
+	// Reject before journaling: under m.mu only Submit (and recovery)
+	// produce into the queue, and workers only drain it, so observing
+	// len < cap here makes the send below non-blocking.
+	if len(m.queue) == cap(m.queue) {
+		return Snapshot{}, ErrBusy
+	}
 	m.seq++
 	j := &job{
 		id:      fmt.Sprintf("job-%06d", m.seq),
@@ -464,11 +495,15 @@ func (m *Manager) Submit(req Request) (Snapshot, error) {
 		done:    make(chan struct{}),
 		traceID: obs.NewTraceID(),
 	}
-	select {
-	case m.queue <- j:
-	default:
-		return Snapshot{}, ErrBusy
+	// Journal-before-ack: a job is accepted only once its submit record
+	// is durable, so every acknowledged job survives a crash. (A crash
+	// after the append but before the client reads the response re-runs
+	// work that was never acked — harmless, the artifacts dedup.)
+	if err := m.appendJournalLocked(submitRecord(j, hashJSON(cfg))); err != nil {
+		m.seq--
+		return Snapshot{}, fmt.Errorf("service: journaling job: %w", err)
 	}
+	m.queue <- j
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
 	m.inflight[dedup] = j
@@ -544,6 +579,12 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		if m.farm != nil {
 			m.farm.Close()
 		}
+		// Every worker has exited, so every final done/failed record is
+		// already journaled; only now is the journal closed. (Closing
+		// earlier would race job completion against the WAL handle.)
+		m.mu.Lock()
+		m.closeJournalLocked()
+		m.mu.Unlock()
 		return nil
 	case <-ctx.Done():
 	}
@@ -556,6 +597,10 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		case <-time.After(time.Second):
 		}
 	}
+	// The drain timed out: workers may still be appending, so the journal
+	// handle stays open and the exit looks like a crash to the next life —
+	// which is exactly the case replay is built for. Unfinished jobs
+	// re-enqueue or resolve from the store on restart.
 	return ctx.Err()
 }
 
@@ -582,16 +627,17 @@ func (m *Manager) pruneLocked() {
 // snapshotLocked copies a job's state; m.mu must be held.
 func (m *Manager) snapshotLocked(j *job) Snapshot {
 	s := Snapshot{
-		ID:       j.id,
-		Request:  j.req,
-		Status:   j.status,
-		Error:    j.err,
-		Cached:   j.cached,
-		Result:   j.result,
-		Created:  j.created,
-		Started:  j.started,
-		Finished: j.finished,
-		TraceID:  j.traceID,
+		ID:        j.id,
+		Request:   j.req,
+		Status:    j.status,
+		Error:     j.err,
+		Cached:    j.cached,
+		Result:    j.result,
+		Created:   j.created,
+		Started:   j.started,
+		Finished:  j.finished,
+		TraceID:   j.traceID,
+		Recovered: j.recovered,
 	}
 	if j.span != nil {
 		d := j.span.Data()
@@ -607,6 +653,12 @@ func (m *Manager) run(j *job) {
 	j.started = time.Now()
 	j.span = obs.NewSpan(j.traceID, string(j.req.Kind))
 	j.span.SetAttr("job", j.id)
+	if j.recovered {
+		// The marker bptool trace and debug surfaces show for jobs that
+		// crossed a coordinator restart.
+		j.span.SetAttr("recovered", "true")
+	}
+	m.journalBestEffortLocked(journalRecord{Op: jopRunning, ID: j.id})
 	m.mu.Unlock()
 
 	// Region decoding happens inside profiling and simulation, so its time
@@ -629,9 +681,16 @@ func (m *Manager) run(j *job) {
 	if err != nil {
 		j.status = StatusFailed
 		j.err = err.Error()
+		m.journalBestEffortLocked(journalRecord{
+			Op: jopFailed, ID: j.id, Error: j.err, FinishedNs: j.finished.UnixNano()})
 	} else {
 		j.status = StatusDone
 		j.result = result
+		// Best-effort: the result artifact is already durable in the store,
+		// so recovery resolves this job even if the done record never lands.
+		m.journalBestEffortLocked(journalRecord{
+			Op: jopDone, ID: j.id, Artifact: j.artifact, Cached: cached,
+			FinishedNs: j.finished.UnixNano()})
 	}
 	delete(m.inflight, j.dedup)
 	m.pruneLocked()
@@ -653,6 +712,9 @@ func (m *Manager) stageObserver(j *job) bp.StageObserver {
 	return func(stage string, d time.Duration) {
 		j.span.Observe(stage, d)
 		m.stageDur.With(stage).ObserveDuration(d)
+		m.mu.Lock()
+		m.journalBestEffortLocked(journalRecord{Op: jopStage, ID: j.id, Stage: stage})
+		m.mu.Unlock()
 	}
 }
 
@@ -662,6 +724,7 @@ func (m *Manager) execute(j *job) (json.RawMessage, bool, error) {
 	obsrv := m.stageObserver(j)
 	switch j.req.Kind {
 	case KindAnalyze:
+		j.artifact = SelectionArtifact(j.cfg)
 		sel, cached, stats, err := AnalyzeCachedProfiled(m.st, j.req.Trace, j.cfg, m.replay, obsrv)
 		if err != nil {
 			return nil, false, err
@@ -685,6 +748,7 @@ func (m *Manager) execute(j *job) (json.RawMessage, bool, error) {
 			return nil, false, err
 		}
 		name := AdaptiveEstimateArtifact(j.cfg, mc, j.mode, j.req.TargetCI)
+		j.artifact = name
 		if b, err := m.st.GetArtifact(j.req.Trace, name); err == nil {
 			return json.RawMessage(b), true, nil
 		} else if !errors.Is(err, store.ErrNotFound) {
@@ -735,6 +799,7 @@ func (m *Manager) execute(j *job) (json.RawMessage, bool, error) {
 			return nil, false, err
 		}
 		name := ActualArtifact(mc)
+		j.artifact = name
 		if b, err := m.st.GetArtifact(j.req.Trace, name); err == nil {
 			return json.RawMessage(b), true, nil
 		} else if !errors.Is(err, store.ErrNotFound) {
@@ -770,6 +835,9 @@ func (m *Manager) recordProfileStats(j *job, stats ProfileStats) {
 // -cache runs all share per-point work. Farm tasks themselves dedup
 // against the same artifacts inside the queue.
 func (m *Manager) pointRunner(j *job) bp.PointRunner {
+	local := func() bp.PointRunner {
+		return &farm.CachedRunner{St: m.st, TraceKey: j.req.Trace, Inner: bp.LocalRunner{}}
+	}
 	useFarm := false
 	switch normalizeExec(j.req.Exec) {
 	case ExecFarm:
@@ -777,11 +845,42 @@ func (m *Manager) pointRunner(j *job) bp.PointRunner {
 	case ExecAuto:
 		useFarm = m.farm != nil && m.farm.LiveWorkers() > 0
 	}
-	if useFarm {
-		m.farmed.Add(1)
-		return farm.QueueRunner{Q: m.farm, TraceKey: j.req.Trace, TraceID: j.traceID}
+	if !useFarm {
+		return local()
 	}
-	return &farm.CachedRunner{St: m.st, TraceKey: j.req.Trace, Inner: bp.LocalRunner{}}
+	m.farmed.Add(1)
+	fr := farm.QueueRunner{Q: m.farm, TraceKey: j.req.Trace, TraceID: j.traceID}
+	if normalizeExec(j.req.Exec) == ExecFarm {
+		// Forced farm mode fails loudly rather than quietly running local.
+		return fr
+	}
+	// Auto mode degrades gracefully: a farm-side failure (queue closed,
+	// task attempts exhausted against a flaky fleet) falls back to local
+	// execution instead of failing the job. Points that completed on the
+	// farm are already cached per artifact, so the fallback recomputes
+	// only what the fleet never finished.
+	return &fallbackRunner{primary: fr, fallback: local(), onFallback: func(err error) {
+		m.farmFallbacks.Add(1)
+		j.span.SetAttr("farm_fallback", err.Error())
+	}}
+}
+
+// fallbackRunner tries its primary point runner and, on error, reruns
+// the request on the fallback (auto-mode farm → local degradation).
+type fallbackRunner struct {
+	primary, fallback bp.PointRunner
+	onFallback        func(error)
+}
+
+func (r *fallbackRunner) RunPoints(p bp.Program, regions []int, mc bp.MachineConfig, mode bp.WarmupMode) (map[int]bp.RegionResult, error) {
+	out, err := r.primary.RunPoints(p, regions, mc, mode)
+	if err == nil {
+		return out, nil
+	}
+	if r.onFallback != nil {
+		r.onFallback(err)
+	}
+	return r.fallback.RunPoints(p, regions, mc, mode)
 }
 
 // putResult serializes, caches and returns a job result artifact.

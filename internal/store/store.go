@@ -51,6 +51,7 @@ import (
 	"strings"
 	"time"
 
+	"barrierpoint/internal/fault"
 	"barrierpoint/internal/tracefile"
 )
 
@@ -392,6 +393,9 @@ func (s *Store) GetArtifact(key, name string) ([]byte, error) {
 	if err := s.checkArtifact(key, name); err != nil {
 		return nil, err
 	}
+	if err := fault.Inject("store.get-artifact"); err != nil {
+		return nil, err
+	}
 	b, err := os.ReadFile(filepath.Join(s.artifactDir(key), name))
 	if os.IsNotExist(err) {
 		return nil, fmt.Errorf("store: artifact %s/%s: %w", key, name, ErrNotFound)
@@ -483,6 +487,9 @@ func writeDurableExcl(dir, name string, data []byte) (existed bool, err error) {
 // directory are fsynced around the rename.
 func (s *Store) PutArtifact(key, name string, data []byte) error {
 	if err := s.checkArtifact(key, name); err != nil {
+		return err
+	}
+	if err := fault.Inject("store.put-artifact"); err != nil {
 		return err
 	}
 	dir := s.artifactDir(key)

@@ -9,6 +9,8 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"barrierpoint/internal/fault"
 )
 
 // This file is the store's write-ahead-log layer: an append-only record
@@ -199,6 +201,11 @@ func (w *WAL) Append(payload []byte) error {
 	if w.broken {
 		return ErrWALBroken
 	}
+	// Fault seam: an injected failure surfaces before any bytes land, so
+	// the log stays intact (mirrors a full disk rejecting the write).
+	if err := fault.Inject("store.wal.append"); err != nil {
+		return err
+	}
 	defer w.observe("append", time.Now())
 	frame := walFrame(payload)
 	err := w.writeFrame(frame)
@@ -294,4 +301,3 @@ func (w *WAL) Close() error {
 	w.f = nil
 	return err
 }
-
